@@ -1,0 +1,46 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark runs one paper experiment end to end (workload
+generation, both designs, parameter sweep), prints the
+paper-vs-measured table to the terminal and saves it under
+``benchmarks/results/``.  ``REPRO_FULL=1`` switches from the trimmed
+fast sweeps to the figures' complete axes.
+"""
+
+import json
+import os
+
+import pytest
+
+#: full sweeps when REPRO_FULL=1, trimmed ones otherwise
+FAST = os.environ.get("REPRO_FULL", "") != "1"
+SEED = int(os.environ.get("REPRO_SEED", "42"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def run_experiment(benchmark, request):
+    """Run an experiment module once under pytest-benchmark timing."""
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _run(module):
+        result = benchmark.pedantic(
+            lambda: module.run(fast=FAST, seed=SEED), rounds=1, iterations=1)
+        rendered = result.render()
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, "%s.txt" % result.exp_id)
+        with open(path, "w") as fh:
+            fh.write(rendered + "\n")
+        with open(os.path.join(RESULTS_DIR, "%s.json" % result.exp_id),
+                  "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, default=str)
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print()
+                print(rendered)
+        else:
+            print(rendered)
+        return result
+
+    return _run

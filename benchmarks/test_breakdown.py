@@ -1,0 +1,18 @@
+"""Benchmark BRK — §6.2 latency breakdown (paper: 14us Bluefield vs
+11us host from UDP-done to response-ready with a zero-time kernel)."""
+
+from repro.experiments import breakdown as exp
+
+
+def test_latency_breakdown(run_experiment):
+    result = run_experiment(exp)
+    bf = result.find(platform="bluefield")
+    xeon = result.find(platform="xeon")
+    assert 9.0 <= bf["snic_span_total"] <= 17.0   # paper: 14
+    assert 7.0 <= xeon["snic_span_total"] <= 13.5  # paper: 11
+    assert bf["snic_span_total"] > xeon["snic_span_total"]
+    # stage accounting must cover the whole span
+    for row in (bf, xeon):
+        stages = (row["dispatch"] + row["rdma_delivery"]
+                  + row["accel_poll"] + row["doorbell_sweep"])
+        assert stages <= row["snic_span_total"] * 1.05

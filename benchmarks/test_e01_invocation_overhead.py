@@ -1,0 +1,13 @@
+"""Benchmark E01 — §3.2 GPU invocation overhead (paper: 130us e2e,
+~30us overhead for a 100us kernel)."""
+
+from repro.experiments import e01_invocation_overhead as exp
+
+
+def test_e01_invocation_overhead(run_experiment):
+    result = run_experiment(exp)
+    row = result.find(kernel_us=100.0)
+    # overhead within +-40% of the paper's 30us and constant across rows
+    assert 18 <= row["overhead_us"] <= 42
+    overheads = result.column("overhead_us")
+    assert max(overheads) - min(overheads) < 2.0

@@ -1,0 +1,11 @@
+"""Benchmark E02 — §3.2 noisy neighbour (paper: 13x p99, 21% matmul
+slowdown)."""
+
+from repro.experiments import e02_noisy_neighbor as exp
+
+
+def test_e02_noisy_neighbor(run_experiment):
+    result = run_experiment(exp)
+    noisy = result.find(config="with noisy neighbour")
+    assert 7.0 <= noisy["p99_ratio"] <= 20.0
+    assert 1.10 <= noisy["matmul_slowdown"] <= 1.35

@@ -1,0 +1,15 @@
+"""Benchmark E03 — Figure 5 mqueue access mechanisms (paper: RDMA wins,
+most at small payloads)."""
+
+from repro.experiments import e03_fig5_transfer_mechanisms as exp
+
+
+def test_e03_fig5_transfer_mechanisms(run_experiment):
+    result = run_experiment(exp)
+    small = result.rows[0]
+    large = result.rows[-1]
+    # ordering at small payloads: rdma/rdma > rdma/gdr > cuda/gdr > base
+    assert small["rdma_rdma"] > small["rdma_gdr"] > small["cuda_gdr"] > 1.0
+    # the RDMA advantage shrinks as payloads grow
+    assert large["rdma_rdma"] < small["rdma_rdma"]
+    assert 1.5 <= large["rdma_rdma"] <= 4.0

@@ -1,0 +1,16 @@
+"""Benchmark E04 — Figure 6 throughput grid (paper: BF ~2x host-centric
+at 20us/1mq, up to ~15.3x with many mqueues)."""
+
+from repro.experiments import e04_fig6_throughput_grid as exp
+
+
+def test_e04_fig6_throughput_grid(run_experiment):
+    result = run_experiment(exp)
+    short_one = result.find(exec_us=20.0, mqueues=1)
+    short_many = result.find(exec_us=20.0, mqueues=240)
+    assert 1.4 <= short_one["lynx_bluefield"] <= 2.6  # paper: 2x
+    assert 10.0 <= short_many["lynx_bluefield"] <= 25.0  # paper: 15.3x
+    # Bluefield always beats a single Xeon core at high mqueue counts
+    assert short_many["lynx_bluefield"] > short_many["lynx_xeon1"]
+    # ...but trails 6 Xeon cores for short requests
+    assert short_many["lynx_bluefield"] < short_many["lynx_xeon6"]

@@ -1,0 +1,14 @@
+"""Benchmark E05 — Figure 7 Bluefield vs Xeon latency (paper: <=1.4x,
+converging for runtimes >= ~150us)."""
+
+from repro.experiments import e05_fig7_latency as exp
+
+
+def test_e05_fig7_latency(run_experiment):
+    result = run_experiment(exp)
+    for row in result.rows:
+        assert row["slowdown"] <= 1.75  # paper: <=1.4
+        if row["runtime_us"] >= 200:
+            assert row["slowdown"] <= 1.15
+    short = result.find(runtime_us=result.rows[0]["runtime_us"], mqueues=1)
+    assert short["slowdown"] >= 1.1  # Bluefield is slower for short reqs

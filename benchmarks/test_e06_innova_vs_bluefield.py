@@ -1,0 +1,15 @@
+"""Benchmark E06 — §6.2 receive throughput (paper: Innova 7.4M pps,
+Bluefield 0.5M, CPU-centric ~80x slower than Innova)."""
+
+from repro.experiments import e06_innova as exp
+
+
+def test_e06_innova_vs_bluefield(run_experiment):
+    result = run_experiment(exp)
+    innova = result.find(platform="innova-afu")
+    bluefield = result.find(platform="bluefield")
+    host = result.find(platform="host-centric-6core")
+    assert 6.5 <= innova["mpps"] <= 8.0  # paper: 7.4
+    assert 0.35 <= bluefield["mpps"] <= 0.85  # paper: 0.5
+    assert host["vs_innova"] > 40  # paper: ~80x
+    assert innova["mpps"] > bluefield["mpps"] > host["mpps"]

@@ -1,0 +1,10 @@
+"""Benchmark E07 — §6.2 performance isolation (paper: no interference
+when Lynx runs on the Bluefield)."""
+
+from repro.experiments import e07_isolation as exp
+
+
+def test_e07_isolation(run_experiment):
+    result = run_experiment(exp)
+    noisy = result.find(config="lynx-bluefield + noisy neighbour")
+    assert noisy["p99_ratio"] <= 1.10  # vs ~13x in the host-centric run

@@ -1,0 +1,11 @@
+"""Benchmark E08 — §6.2 VCA SGX echo (paper: 56us p90 via Lynx, ~4.3x
+lower than the host-bridge baseline)."""
+
+from repro.experiments import e08_vca_sgx as exp
+
+
+def test_e08_vca_sgx(run_experiment):
+    result = run_experiment(exp)
+    lynx = result.rows[0]
+    assert 40 <= lynx["p90_us"] <= 75  # paper: 56
+    assert 3.0 <= lynx["speedup"] <= 6.0  # paper: 4.3

@@ -1,0 +1,16 @@
+"""Benchmark E09 — Figure 8a LeNet service (paper: 3.5K req/s Lynx vs
+2.8K host-centric; p90 ~295-300us)."""
+
+from repro.experiments import e09_fig8a_lenet as exp
+
+
+def test_e09_fig8a_lenet(run_experiment):
+    result = run_experiment(exp)
+    hc = result.find(design="host-centric", proto="udp")
+    bf = result.find(design="lynx-bluefield", proto="udp")
+    xeon = result.find(design="lynx-xeon-1core", proto="udp")
+    assert 3.3 <= bf["krps"] <= 3.65  # paper: 3.5, GPU max 3.6
+    assert abs(bf["krps"] - xeon["krps"]) / xeon["krps"] < 0.05
+    assert bf["krps"] / hc["krps"] >= 1.15  # paper: +25%
+    assert 270 <= bf["p90_us"] <= 360  # paper: ~300
+    assert hc["p90_us"] > bf["p90_us"]  # paper: 14% slower

@@ -1,0 +1,12 @@
+"""Benchmark E10 — Figure 8b remote-GPU scale-out (paper: linear up to
+12 GPUs across 3 machines; +8us for remote GPUs)."""
+
+from repro.experiments import e10_fig8b_scaleout as exp
+
+
+def test_e10_fig8b_scaleout(run_experiment):
+    result = run_experiment(exp)
+    for row in result.rows:
+        assert row["scaling_efficiency"] >= 0.93  # linear scaling
+    twelve = result.find(gpus=12)
+    assert 36.0 <= twelve["krps"] <= 43.0  # paper: ~39.6

@@ -1,0 +1,17 @@
+"""Benchmark E11 — Figure 8c scalability projection (paper knees: UDP
+102/74 GPUs, TCP 15/7 for Bluefield / one Xeon core)."""
+
+from repro.experiments import e11_fig8c_projection as exp
+
+
+def test_e11_fig8c_projection(run_experiment):
+    result = run_experiment(exp)
+    knees = {(r["platform"], r["proto"]): r["knee_estimate"]
+             for r in result.rows if r["gpus"] == "knee"}
+    assert 80 <= knees[("bluefield", "udp")] <= 120  # paper: 102
+    assert 60 <= knees[("xeon", "udp")] <= 88        # paper: 74
+    assert 11 <= knees[("bluefield", "tcp")] <= 19   # paper: 15
+    assert 5 <= knees[("xeon", "tcp")] <= 9          # paper: 7
+    # orderings: BF > Xeon core; UDP >> TCP
+    assert knees[("bluefield", "udp")] > knees[("xeon", "udp")]
+    assert knees[("xeon", "udp")] > 3 * knees[("bluefield", "tcp")]

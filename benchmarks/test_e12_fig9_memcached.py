@@ -1,0 +1,21 @@
+"""Benchmark E12 — Figure 9 memcached placement (paper: 250Ktps/Xeon
+core @15us; Bluefield 400Ktps @160us; LeNet constant 3.5K)."""
+
+from repro.experiments import e12_fig9_memcached as exp
+
+
+def test_e12_fig9_memcached(run_experiment):
+    result = run_experiment(exp)
+    config_a = result.rows[0]
+    tput_opt = result.rows[1]
+    lat_opt = result.rows[2]
+    # ~250 Ktps per Xeon core
+    assert 1200 <= config_a["memcached_ktps"] <= 1800
+    # Bluefield: high throughput at much higher latency
+    assert 250 <= tput_opt["bf_memcached_ktps"] <= 520  # paper: 400
+    assert tput_opt["bf_p99_us"] > 5 * config_a["memcached_p99_us"]
+    # under the latency SLO the Bluefield contributes nothing
+    assert lat_opt["memcached_ktps"] < config_a["memcached_ktps"]
+    # LeNet unaffected by placement
+    for row in result.rows:
+        assert 3.3 <= row["lenet_krps"] <= 3.65

@@ -1,0 +1,13 @@
+"""Benchmark E14 — §5.1.1 VMA bypass (paper: 4x on Bluefield ARM, 2x on
+the host Xeon)."""
+
+from repro.experiments import e14_vma_stack as exp
+
+
+def test_e14_vma_stack(run_experiment):
+    result = run_experiment(exp)
+    bf = result.find(platform="bluefield")
+    xeon = result.find(platform="xeon")
+    assert bf["stack_cost_ratio"] == 4.0
+    assert xeon["stack_cost_ratio"] == 2.0
+    assert bf["e2e_ratio"] > xeon["e2e_ratio"] > 1.0

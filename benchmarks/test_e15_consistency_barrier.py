@@ -1,0 +1,12 @@
+"""Benchmark E15 — §5.1 GPU consistency write barrier (paper: ~5us
+extra per message, coalescing disabled)."""
+
+from repro.experiments import e15_consistency_barrier as exp
+
+
+def test_e15_consistency_barrier(run_experiment):
+    result = run_experiment(exp)
+    fenced = result.find(mode="write barrier (3 transactions)")
+    assert 4.0 <= fenced["extra_us"] <= 9.0  # paper: ~5
+    plain = result.find(mode="coalesced (workaround off)")
+    assert fenced["rdma_ops_per_msg"] == plain["rdma_ops_per_msg"] + 2

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The §6.4 workload: a multi-tier face-verification service.
+
+The GPU-resident server receives (label, probe-photo) requests over
+UDP, fetches the person's reference photo from a memcached tier over a
+TCP client mqueue — networking *initiated by the accelerator* — and
+runs real LBP verification.  The example checks genuine/impostor
+decisions end to end and prints the tier-by-tier flow.
+
+Run:  python examples/face_verification.py
+"""
+
+from repro import Testbed, FaceVerificationApp
+from repro.apps.facever import (
+    BACKEND,
+    FaceDatabase,
+    decode_result,
+    encode_request,
+    person_label,
+)
+from repro.apps.memcached import MemcachedServer
+from repro.config import XEON_VMA
+from repro.net import Address
+from repro.net.packet import TCP, UDP
+
+
+def main():
+    tb = Testbed(seed=11)
+    env = tb.env
+
+    # -- tier 1: the GPU front-end behind a Bluefield ---------------------
+    gpu_host = tb.machine("10.0.0.1")
+    gpu = gpu_host.add_gpu()
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_bluefield(snic)
+
+    # -- tier 2: the photo database (memcached on another host) ----------
+    db_host = tb.machine("10.0.0.2")
+    memcached = MemcachedServer(env, db_host.nic,
+                                db_host.pool(count=2, name="mc"), XEON_VMA)
+    database = FaceDatabase(num_people=48)
+    memcached.store.preload(database.items())
+    print("database tier: %d reference photos preloaded"
+          % len(memcached.store))
+
+    # -- wire the GPU to both tiers (28 mqueues, like the paper) ---------
+    app = FaceVerificationApp()
+    env.process(runtime.start_gpu_service(
+        gpu, app, port=8000, n_mqueues=28, proto=UDP,
+        backends={BACKEND: (Address("10.0.0.2", 11211), TCP)}))
+    tb.run(until=30_000)  # connection setup for 28 client mqueues
+
+    # -- verify a mix of genuine probes and impostors --------------------
+    client = tb.client("10.0.1.1")
+    outcomes = []
+
+    def drive(env):
+        for pid in range(12):
+            genuine = pid % 3 != 0
+            probe = (database.probe(pid) if genuine
+                     else database.impostor_probe(pid))
+            request = encode_request(person_label(pid), probe)
+            response = yield from client.request(
+                request, Address("10.0.0.100", 8000), proto=UDP)
+            same, distance = decode_result(response.payload)
+            outcomes.append((pid, genuine, same, distance))
+
+    env.process(drive(env))
+    tb.run(until=300_000)
+
+    print("\nverification results (GPU fetches references via its "
+          "client mqueue):")
+    correct = 0
+    for pid, genuine, same, distance in outcomes:
+        verdict = "ACCEPT" if same else "REJECT"
+        expected = "genuine " if genuine else "impostor"
+        ok = same == genuine
+        correct += ok
+        print("  person %2d (%s): %s  chi2=%7.1f  %s"
+              % (pid, expected, verdict, distance,
+                 "OK" if ok else "WRONG"))
+    print("decisions correct: %d/%d" % (correct, len(outcomes)))
+    print("memcached hits: %d, misses: %d"
+          % (memcached.store.hits, memcached.store.misses))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation figures as terminal charts.
+
+Runs the corresponding experiments (fast sweeps) and renders Figures
+5-9 as ASCII plots.  Pass figure names to render a subset:
+
+    python examples/generate_figures.py fig8b fig9
+"""
+
+import sys
+import time
+
+from repro.report import ALL_FIGURES
+
+
+def main(argv):
+    wanted = argv or ["fig8b", "fig9", "fig5"]  # cheap default subset
+    if wanted == ["all"]:
+        wanted = list(ALL_FIGURES)
+    for name in wanted:
+        fig = ALL_FIGURES.get(name)
+        if fig is None:
+            print("unknown figure %r (have: %s)" % (name,
+                                                    ", ".join(ALL_FIGURES)))
+            return 1
+        start = time.time()
+        print(fig())
+        print("(%s rendered in %.1fs)\n" % (name, time.time() - start))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

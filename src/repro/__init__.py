@@ -1,0 +1,102 @@
+"""Lynx (ASPLOS'20) reproduction.
+
+A microsecond-resolution discrete-event simulation of SmartNIC-driven,
+accelerator-centric network servers, plus the Lynx system itself
+(mqueues, SNIC network server, RDMA-backed remote queue management,
+accelerator-side I/O), the host-centric baseline, the paper's
+application workloads, and an experiment harness reproducing every
+table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import Testbed, LeNetApp
+    from repro.net import Address, ClosedLoopGenerator
+
+    tb = Testbed()
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_bluefield(snic)
+    tb.env.process(runtime.start_gpu_service(gpu, LeNetApp(), port=7777))
+    tb.run(until=50)
+    # ... attach clients, run, read latencies (see examples/).
+"""
+
+from . import units
+from .config import (
+    DEFAULT_CONFIG,
+    SimConfig,
+    BluefieldProfile,
+    InnovaProfile,
+    VcaProfile,
+    GpuProfile,
+    K40M,
+    K80,
+    XEON_E5_2620,
+    BLUEFIELD_ARM,
+    XEON_VMA,
+    XEON_KERNEL,
+    ARM_VMA,
+    ARM_KERNEL,
+)
+from .errors import (
+    ReproError,
+    SimulationError,
+    ConfigError,
+    CapacityError,
+    NetworkError,
+    AcceleratorError,
+)
+from .sim import Environment
+from .experiments.testbed import Testbed
+from .lynx import LynxRuntime, LynxServer, MQueue
+from .baseline import HostCentricServer
+from .apps import (
+    EchoApp,
+    SpinApp,
+    LeNetApp,
+    FaceVerificationApp,
+    VectorScaleApp,
+    MemcachedServer,
+    SgxEchoApp,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "units",
+    "DEFAULT_CONFIG",
+    "SimConfig",
+    "BluefieldProfile",
+    "InnovaProfile",
+    "VcaProfile",
+    "GpuProfile",
+    "K40M",
+    "K80",
+    "XEON_E5_2620",
+    "BLUEFIELD_ARM",
+    "XEON_VMA",
+    "XEON_KERNEL",
+    "ARM_VMA",
+    "ARM_KERNEL",
+    "ReproError",
+    "SimulationError",
+    "ConfigError",
+    "CapacityError",
+    "NetworkError",
+    "AcceleratorError",
+    "Environment",
+    "Testbed",
+    "LynxRuntime",
+    "LynxServer",
+    "MQueue",
+    "HostCentricServer",
+    "EchoApp",
+    "SpinApp",
+    "LeNetApp",
+    "FaceVerificationApp",
+    "VectorScaleApp",
+    "MemcachedServer",
+    "SgxEchoApp",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""From-scratch cryptographic primitives (for the SGX workload)."""
+
+from .aes import AES128, BLOCK_SIZE, decrypt_block, encrypt_block, expand_key
+
+__all__ = ["AES128", "BLOCK_SIZE", "decrypt_block", "encrypt_block",
+           "expand_key"]

@@ -1,0 +1,36 @@
+"""Face verification over LBP with a memcached tier (the §6.4 workload)."""
+
+from .lbp import (
+    DEFAULT_THRESHOLD,
+    chi_square,
+    lbp_codes,
+    lbp_histogram,
+    verify,
+)
+from .dataset import FaceDatabase, face_bytes, face_image, person_label
+from .server import (
+    BACKEND,
+    FaceVerificationApp,
+    decode_request,
+    decode_result,
+    encode_request,
+    encode_result,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "chi_square",
+    "lbp_codes",
+    "lbp_histogram",
+    "verify",
+    "FaceDatabase",
+    "face_bytes",
+    "face_image",
+    "person_label",
+    "BACKEND",
+    "FaceVerificationApp",
+    "decode_request",
+    "decode_result",
+    "encode_request",
+    "encode_result",
+]

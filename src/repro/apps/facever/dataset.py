@@ -1,0 +1,69 @@
+"""Synthetic face dataset standing in for color FERET (§6.4).
+
+The paper resizes FERET faces to 32x32 and keys them by random 12-byte
+labels.  FERET cannot be redistributed, so we synthesize per-person
+face-like images: a seeded base pattern per person (stable identity
+structure) plus small per-photo noise.  Same-person pairs are close
+under LBP/chi-square, different-person pairs are far — the property the
+workload needs.
+"""
+
+import numpy as np
+
+from ...errors import ConfigError
+from .lbp import IMAGE_SIDE
+
+
+def person_label(person_id):
+    """The 12-byte database key of a person (mirrors the paper)."""
+    return b"person-%05d" % person_id
+
+
+def face_image(person_id, variant=0, noise=6.0):
+    """A 32x32 uint8 "photograph" of *person_id*.
+
+    The identity is a deterministic smooth random field (per-person
+    facial structure); *variant* adds photo-to-photo noise.
+    """
+    if person_id < 0:
+        raise ConfigError("person_id must be non-negative")
+    base_rng = np.random.default_rng(100000 + person_id)
+    # Smooth per-person structure: sum of a few random 2D cosines.
+    yy, xx = np.mgrid[0:IMAGE_SIDE, 0:IMAGE_SIDE]
+    img = np.full((IMAGE_SIDE, IMAGE_SIDE), 128.0)
+    for _ in range(6):
+        fy, fx = base_rng.uniform(0.05, 0.45, size=2)
+        phase = base_rng.uniform(0, 2 * np.pi)
+        amp = base_rng.uniform(20, 45)
+        img += amp * np.cos(2 * np.pi * (fy * yy + fx * xx) + phase)
+    if variant:
+        var_rng = np.random.default_rng((person_id + 1) * 7919 + variant)
+        img += var_rng.standard_normal(img.shape) * noise
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def face_bytes(person_id, variant=0, noise=6.0):
+    """The 1024-byte wire/database payload of a face."""
+    return face_image(person_id, variant=variant, noise=noise).tobytes()
+
+
+class FaceDatabase:
+    """The reference-photo database loaded into memcached."""
+
+    def __init__(self, num_people=256):
+        if num_people < 1:
+            raise ConfigError("need at least one person")
+        self.num_people = num_people
+
+    def items(self):
+        """Yield (label, reference_image_bytes) for preloading."""
+        for pid in range(self.num_people):
+            yield person_label(pid), face_bytes(pid, variant=0)
+
+    def probe(self, person_id, variant=1):
+        """A fresh photo of *person_id* (same person, different shot)."""
+        return face_bytes(person_id % self.num_people, variant=variant)
+
+    def impostor_probe(self, person_id, variant=1):
+        """A photo of someone else, for negative verification tests."""
+        return face_bytes((person_id + 1) % self.num_people, variant=variant)

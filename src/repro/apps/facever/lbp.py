@@ -1,0 +1,73 @@
+"""Local Binary Patterns face verification (§6.4, [Ahonen'06]).
+
+The real algorithm, from scratch in numpy: each pixel is encoded by
+comparing it with its 8 neighbours (clockwise bits), the image is cut
+into cells, per-cell 256-bin histograms are concatenated, and two faces
+are compared by chi-square distance between their histograms.  Lower
+distance = more similar; a threshold turns it into verification.
+"""
+
+import numpy as np
+
+from ...errors import ConfigError
+
+IMAGE_SIDE = 32
+CELL = 8
+BINS = 256
+
+#: chi-square distance below this verifies as "same person"
+DEFAULT_THRESHOLD = 350.0
+
+
+def _as_image(data):
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        data = np.frombuffer(bytes(data), dtype=np.uint8)
+    arr = np.asarray(data)
+    if arr.size != IMAGE_SIDE * IMAGE_SIDE:
+        raise ConfigError("LBP expects %dx%d images, got %d values"
+                          % (IMAGE_SIDE, IMAGE_SIDE, arr.size))
+    return arr.reshape(IMAGE_SIDE, IMAGE_SIDE).astype(np.int32)
+
+
+def lbp_codes(image):
+    """The 8-bit LBP code of every interior pixel (H-2 x W-2)."""
+    img = _as_image(image)
+    center = img[1:-1, 1:-1]
+    # Clockwise from top-left; bit i set if neighbour >= center.
+    neighbours = [
+        img[0:-2, 0:-2], img[0:-2, 1:-1], img[0:-2, 2:],
+        img[1:-1, 2:],
+        img[2:, 2:], img[2:, 1:-1], img[2:, 0:-2],
+        img[1:-1, 0:-2],
+    ]
+    codes = np.zeros(center.shape, dtype=np.uint8)
+    for bit, nb in enumerate(neighbours):
+        codes |= ((nb >= center).astype(np.uint8) << bit)
+    return codes
+
+
+def lbp_histogram(image):
+    """Concatenated per-cell LBP histograms (the face descriptor)."""
+    codes = lbp_codes(image)
+    h, w = codes.shape
+    hists = []
+    for y in range(0, h - h % CELL, CELL):
+        for x in range(0, w - w % CELL, CELL):
+            cell = codes[y:y + CELL, x:x + CELL]
+            hist = np.bincount(cell.reshape(-1), minlength=BINS)
+            hists.append(hist)
+    return np.concatenate(hists).astype(np.float64)
+
+
+def chi_square(h1, h2):
+    """Chi-square distance between two histograms."""
+    denom = h1 + h2
+    mask = denom > 0
+    diff = h1 - h2
+    return float(np.sum(diff[mask] ** 2 / denom[mask]))
+
+
+def verify(probe, reference, threshold=DEFAULT_THRESHOLD):
+    """Full verification: returns (is_same, distance)."""
+    dist = chi_square(lbp_histogram(probe), lbp_histogram(reference))
+    return dist <= threshold, dist

@@ -1,0 +1,17 @@
+"""LeNet-5 digit-recognition serving (the §6.3 workload)."""
+
+from .model import LeNet5, conv2d_valid, maxpool2, relu
+from .mnist import MnistStream, image_bytes, render_digit, template_set
+from .server import LeNetApp
+
+__all__ = [
+    "LeNet5",
+    "conv2d_valid",
+    "maxpool2",
+    "relu",
+    "MnistStream",
+    "image_bytes",
+    "render_digit",
+    "template_set",
+    "LeNetApp",
+]

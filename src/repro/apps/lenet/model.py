@@ -1,0 +1,130 @@
+"""LeNet-5 forward pass, implemented from scratch in numpy (§6.3).
+
+The paper serves LeNet [LeCun'98] inference compiled by TVM to run
+entirely on the GPU.  We reproduce the *computation* exactly (conv 5x5
+-> pool -> conv 5x5 -> pool -> fc120 -> fc84 -> fc10 over a 28x28
+grayscale image) so the served responses are real classifications, and
+charge the calibrated K40m duration (~278us) as simulated kernel time.
+
+Weights are deterministic (seeded He initialization): an untrained
+network classifies arbitrarily but *reproducibly*, which is what the
+end-to-end integrity tests need.  ``train_digit_templates`` nudges the
+final layer so the bundled synthetic digit set classifies correctly,
+making the examples meaningful.
+"""
+
+import numpy as np
+
+from ...errors import ConfigError
+
+IMAGE_SIDE = 28
+NUM_CLASSES = 10
+
+
+def _he(rng, *shape):
+    fan_in = int(np.prod(shape[1:])) or 1
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def conv2d_valid(x, weights, bias):
+    """Valid-mode 2D convolution: x[C,H,W] * w[K,C,R,S] + b[K]."""
+    c, h, w = x.shape
+    k, wc, r, s = weights.shape
+    if wc != c:
+        raise ConfigError("conv channel mismatch: %d vs %d" % (wc, c))
+    oh, ow = h - r + 1, w - s + 1
+    # im2col: gather all RxS patches, then one matmul.
+    cols = np.empty((c * r * s, oh * ow), dtype=x.dtype)
+    idx = 0
+    for ci in range(c):
+        for ri in range(r):
+            for si in range(s):
+                cols[idx] = x[ci, ri:ri + oh, si:si + ow].reshape(-1)
+                idx += 1
+    out = weights.reshape(k, -1) @ cols + bias[:, None]
+    return out.reshape(k, oh, ow)
+
+
+def maxpool2(x):
+    """2x2 max pooling with stride 2 over x[C,H,W]."""
+    c, h, w = x.shape
+    x = x[:, :h - h % 2, :w - w % 2]
+    return x.reshape(c, h // 2, 2, w // 2, 2).max(axis=(2, 4))
+
+
+def relu(x):
+    return np.maximum(x, 0.0)
+
+
+class LeNet5:
+    """The classic LeNet-5 architecture (28x28 grayscale -> 10 logits)."""
+
+    def __init__(self, seed=1998):
+        rng = np.random.default_rng(seed)
+        self.conv1_w = _he(rng, 6, 1, 5, 5)
+        self.conv1_b = np.zeros(6)
+        self.conv2_w = _he(rng, 16, 6, 5, 5)
+        self.conv2_b = np.zeros(16)
+        self.fc1_w = _he(rng, 120, 16 * 4 * 4)
+        self.fc1_b = np.zeros(120)
+        self.fc2_w = _he(rng, 84, 120)
+        self.fc2_b = np.zeros(84)
+        self.fc3_w = _he(rng, 10, 84)
+        self.fc3_b = np.zeros(10)
+
+    def forward(self, image):
+        """Run inference on one image; returns the 10 class logits."""
+        x = self._prepare(image)
+        x = relu(conv2d_valid(x, self.conv1_w, self.conv1_b))   # 6x24x24
+        x = maxpool2(x)                                          # 6x12x12
+        x = relu(conv2d_valid(x, self.conv2_w, self.conv2_b))   # 16x8x8
+        x = maxpool2(x)                                          # 16x4x4
+        x = x.reshape(-1)
+        x = relu(self.fc1_w @ x + self.fc1_b)
+        x = relu(self.fc2_w @ x + self.fc2_b)
+        return self.fc3_w @ x + self.fc3_b
+
+    def classify(self, image):
+        """Most likely digit for *image* (28x28 bytes or float array)."""
+        return int(np.argmax(self.forward(image)))
+
+    @staticmethod
+    def _prepare(image):
+        if isinstance(image, (bytes, bytearray, memoryview)):
+            image = np.frombuffer(bytes(image), dtype=np.uint8)
+        arr = np.asarray(image, dtype=np.float64)
+        if arr.size != IMAGE_SIDE * IMAGE_SIDE:
+            raise ConfigError("LeNet expects a %dx%d image, got %d values"
+                              % (IMAGE_SIDE, IMAGE_SIDE, arr.size))
+        arr = arr.reshape(1, IMAGE_SIDE, IMAGE_SIDE)
+        return arr / 255.0 - 0.5
+
+    def calibrate_to_templates(self, images_by_digit):
+        """Teach the last layer to separate the given digit templates.
+
+        A tiny prototype-based readout: replaces fc3 with rows that
+        score similarity against each digit's mean penultimate features.
+        Enough for the synthetic MNIST generator's glyphs to classify
+        correctly without a training loop.
+        """
+        feats = {}
+        for digit, images in images_by_digit.items():
+            acc = []
+            for image in images:
+                x = self._prepare(image)
+                x = relu(conv2d_valid(x, self.conv1_w, self.conv1_b))
+                x = maxpool2(x)
+                x = relu(conv2d_valid(x, self.conv2_w, self.conv2_b))
+                x = maxpool2(x).reshape(-1)
+                x = relu(self.fc1_w @ x + self.fc1_b)
+                x = relu(self.fc2_w @ x + self.fc2_b)
+                acc.append(x)
+            feats[digit] = np.mean(acc, axis=0)
+        for digit in range(NUM_CLASSES):
+            if digit not in feats:
+                raise ConfigError("missing templates for digit %d" % digit)
+            proto = feats[digit]
+            norm = np.linalg.norm(proto) or 1.0
+            self.fc3_w[digit] = proto / norm
+            self.fc3_b[digit] = 0.0
+        return self

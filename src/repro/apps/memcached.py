@@ -1,0 +1,142 @@
+"""A memcached-style key-value server.
+
+Two roles in the paper:
+
+* the Face Verification server's database backend (§6.4), accessed over
+  TCP via Lynx client mqueues;
+* the co-tenant server workload of the Fig 9 efficiency experiment,
+  running on host Xeon cores and/or on the Bluefield's ARM cores.
+
+The store is real (an in-process dict of bytes); per-op CPU cost is
+calibrated per platform (Fig 9: ~250 Ktps per Xeon core, ~400 Ktps for
+the whole Bluefield at much higher latency).
+
+Wire protocol (binary-ish, minimal):
+    b"get \x00" + key                    -> value (or b"" miss)
+    b"set \x00" + key + b"\x00" + value  -> b"STORED"
+    b"del \x00" + key                    -> b"DELETED" / b"" miss
+    b"stat\x00"                          -> b"items=<n> hits=<h> misses=<m>"
+"""
+
+from ..config import DEFAULT_APP_TIMINGS
+from ..errors import ConfigError
+from ..net.stack import NetworkStack
+from ..sim import RateMeter
+
+GET = b"get \x00"
+SET = b"set \x00"
+DELETE = b"del \x00"
+STATS = b"stat\x00"
+STORED = b"STORED"
+DELETED = b"DELETED"
+MISS = b""
+
+
+def encode_get(key):
+    return GET + bytes(key)
+
+
+def encode_set(key, value):
+    return SET + bytes(key) + b"\x00" + bytes(value)
+
+
+def encode_delete(key):
+    return DELETE + bytes(key)
+
+
+def encode_stats():
+    return STATS
+
+
+class KeyValueStore:
+    """The actual storage engine (exact, in-memory)."""
+
+    def __init__(self):
+        self._data = {}
+        self.hits = 0
+        self.misses = 0
+
+    def execute(self, request):
+        """Run one wire-format command; returns the response bytes."""
+        request = bytes(request)
+        if request.startswith(GET):
+            key = request[len(GET):]
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return MISS
+            self.hits += 1
+            return value
+        if request.startswith(SET):
+            body = request[len(SET):]
+            key, _, value = body.partition(b"\x00")
+            self._data[key] = value
+            return STORED
+        if request.startswith(DELETE):
+            key = request[len(DELETE):]
+            if self._data.pop(key, None) is None:
+                self.misses += 1
+                return MISS
+            return DELETED
+        if request.startswith(STATS):
+            return b"items=%d hits=%d misses=%d" % (
+                len(self._data), self.hits, self.misses)
+        raise ConfigError("bad memcached request %r" % request[:16])
+
+    def preload(self, items):
+        for key, value in items:
+            self._data[bytes(key)] = bytes(value)
+
+    def __len__(self):
+        return len(self._data)
+
+
+class MemcachedServer:
+    """The network-facing server bound to a platform's cores + stack."""
+
+    def __init__(self, env, nic, pool, stack_profile, port=11211,
+                 op_cost=None, timings=DEFAULT_APP_TIMINGS,
+                 memory_intensity=0.25, working_set=0, name=None):
+        self.env = env
+        self.nic = nic
+        self.pool = pool
+        self.port = port
+        self.name = name or "memcached@%s:%d" % (nic.ip, port)
+        self.stack = NetworkStack(env, pool, stack_profile,
+                                  name="%s-stack" % self.name)
+        self.stack.listen(port)
+        self.store = KeyValueStore()
+        #: per-op service cost in *platform* us (calibrated, Fig 9)
+        if op_cost is None:
+            op_cost = (timings.memcached_op_arm
+                       if "arm" in pool.profile.name
+                       else timings.memcached_op_xeon)
+        self.op_cost = op_cost
+        self.memory_intensity = memory_intensity
+        self.working_set = working_set
+        self.ops = RateMeter(env, name="%s-ops" % self.name)
+        for i in range(pool.count):
+            env.process(self._worker(), name="%s-w%d" % (self.name, i))
+
+    def _worker(self):
+        while True:
+            msg = yield self.nic.recv()
+            if self.stack.handle_control(msg, self.nic):
+                continue
+            if msg.dst.port != self.port:
+                continue
+            yield from self.stack.process_rx(msg)
+            result = self.store.execute(msg.payload)
+            # The dict op itself plus the request parse: calibrated
+            # cost, with the LLC pressure of a large working set.
+            yield from self.pool.run_calibrated(
+                self.op_cost,
+                memory_intensity=self.memory_intensity,
+                working_set=self.working_set)
+            response = msg.reply(result, created_at=self.env.now)
+            if response.conn is not None:
+                response.meta["tcp_seq"] = response.conn.next_seq(response.src)
+            yield from self.pool.run_calibrated(self.stack.tx_cost(response),
+                                                priority=-1)
+            self.ops.tick()
+            yield from self.nic.send(response)

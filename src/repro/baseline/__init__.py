@@ -1,0 +1,7 @@
+"""Baseline server designs the paper compares Lynx against."""
+
+from .host_centric import HostCentricServer, HostContext, default_handle_host
+from .gpu_centric import GpuCentricServer, RDMA_PROTO
+
+__all__ = ["HostCentricServer", "HostContext", "default_handle_host",
+           "GpuCentricServer", "RDMA_PROTO"]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the Lynx reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied to a model."""
+
+
+class CapacityError(ReproError):
+    """A bounded buffer or ring would overflow."""
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered (connection error, bad address)."""
+
+
+class AcceleratorError(ReproError):
+    """Accelerator-side failure (bad kernel, out of SM slots, ...)."""

@@ -1,0 +1,74 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments                 # run everything (fast)
+    python -m repro.experiments E09 E11         # a subset
+    python -m repro.experiments --full E04      # full figure axes
+    python -m repro.experiments --list
+    python -m repro.experiments --extras        # breakdown + ablations
+"""
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY
+from . import ablations, breakdown
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the Lynx (ASPLOS'20) evaluation.")
+    parser.add_argument("experiments", nargs="*", metavar="EXX",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full figure axes instead of the "
+                             "trimmed fast sweeps")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--extras", action="store_true",
+                        help="also run the latency breakdown and the "
+                             "design-choice ablations")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in sorted(REGISTRY):
+            module = REGISTRY[exp_id]
+            title = (module.__doc__ or "").strip().splitlines()[0]
+            print("%s  %s" % (exp_id, title))
+        return 0
+
+    wanted = [e.upper() for e in args.experiments] or sorted(REGISTRY)
+    unknown = [e for e in wanted if e not in REGISTRY]
+    if unknown:
+        parser.error("unknown experiment id(s): %s (use --list)"
+                     % ", ".join(unknown))
+
+    for exp_id in wanted:
+        start = time.time()
+        result = REGISTRY[exp_id].run(fast=not args.full, seed=args.seed)
+        print(result.render())
+        print("(%.1fs)\n" % (time.time() - start))
+
+    if args.extras:
+        print(breakdown.run(fast=not args.full, seed=args.seed).render())
+        print()
+        for study in ablations.ALL_STUDIES:
+            print(study(fast=not args.full, seed=args.seed).render())
+            print()
+    return 0
+
+
+def _cli():
+    """Entry-point wrapper: exit quietly when the pipe closes."""
+    try:
+        return main()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_cli())

@@ -1,0 +1,92 @@
+"""Experiment harness plumbing.
+
+Every paper table/figure has a module here exposing::
+
+    run(fast=True, seed=42) -> ExperimentResult
+
+``fast`` trims sweep points and measurement windows so the whole bench
+suite runs in minutes; the full sweep reproduces each figure's complete
+axis.  Results carry rows (dicts) plus the paper's reference numbers so
+benchmarks can print paper-vs-measured tables and assert on shape.
+"""
+
+
+class ExperimentResult:
+    """Rows + metadata from one experiment run."""
+
+    def __init__(self, exp_id, title, paper_ref, rows=None, notes=None):
+        self.exp_id = exp_id
+        self.title = title
+        self.paper_ref = paper_ref
+        self.rows = rows or []
+        self.notes = notes or []
+
+    def add(self, **fields):
+        self.rows.append(fields)
+        return fields
+
+    def note(self, text):
+        self.notes.append(text)
+
+    def column(self, name):
+        return [row[name] for row in self.rows]
+
+    def find(self, **match):
+        """First row whose fields include all of *match*."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError("no row matching %r" % (match,))
+
+    def table(self):
+        """Human-readable table (printed by the benchmarks)."""
+        if not self.rows:
+            return "(no rows)"
+        columns = list(self.rows[0])
+        widths = {c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
+                  for c in columns}
+        lines = []
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c])
+                                   for c in columns))
+        return "\n".join(lines)
+
+    def to_dict(self):
+        """JSON-serializable form (written next to the text tables)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def render(self):
+        """Full report block: title, table, notes."""
+        parts = ["[%s] %s  (%s)" % (self.exp_id, self.title, self.paper_ref),
+                 self.table()]
+        for note in self.notes:
+            parts.append("note: %s" % note)
+        return "\n".join(parts)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.2f" % value
+    return str(value)
+
+
+def krps(per_sec):
+    """Requests/s -> Kreq/s, rounded for table display."""
+    return round(per_sec / 1000.0, 2)

@@ -1,0 +1,55 @@
+"""E01 — §3.2 GPU management overhead microbenchmark.
+
+The paper runs an echo kernel (copy 4 bytes) with a 100us in-kernel
+delay through the host-centric pipeline (H2D copy, launch, D2H copy)
+and measures 130us end to end => ~30us of pure GPU management overhead
+per request.
+"""
+
+from ..apps.base import SpinApp
+from ..config import K40M
+from .base import ExperimentResult
+from .testbed import Testbed
+
+PAPER_KERNEL_US = 100.0
+PAPER_E2E_US = 130.0
+PAPER_OVERHEAD_US = 30.0
+
+
+def pipeline_once(kernel_us, payload_bytes=4, seed=42):
+    """Time one host-driven GPU request pipeline (no network)."""
+    tb = Testbed(seed=seed)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu(K40M)
+    pool = host.pool(count=1, name="driver-pool")
+
+    def proc(env):
+        start = env.now
+        yield from gpu.memcpy_async(pool, payload_bytes)       # H2D
+        yield from gpu.launch_kernel(pool, kernel_us)          # kernel
+        yield from gpu.memcpy_async(pool, payload_bytes)       # D2H
+        return env.now - start
+
+    p = env.process(proc(env))
+    env.run()
+    return p.value
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E01", "GPU invocation overhead (echo kernel + 100us delay)",
+        "§3.2")
+    kernels = [0.0, 20.0, 100.0] if fast else [0.0, 10.0, 20.0, 50.0, 100.0,
+                                               200.0, 400.0]
+    for kernel_us in kernels:
+        e2e = pipeline_once(kernel_us, seed=seed)
+        result.add(kernel_us=kernel_us, e2e_us=round(e2e, 2),
+                   overhead_us=round(e2e - kernel_us, 2),
+                   paper_e2e_us=PAPER_E2E_US if kernel_us == 100.0 else None,
+                   paper_overhead_us=PAPER_OVERHEAD_US
+                   if kernel_us == 100.0 else None)
+    result.note("paper: 130us e2e for a 100us kernel => 30us management "
+                "overhead; overhead is constant across kernel durations")
+    return result

@@ -1,0 +1,79 @@
+"""E04 — Figure 6: relative throughput of the four GPU server designs.
+
+Grid: request execution time {20, 200, 800, 1600}us x mqueue count
+{1, 120, 240}, 64B UDP messages, open-loop saturation.  Throughput is
+reported relative to the host-centric baseline of the same column.
+
+Paper headlines: Lynx-on-Bluefield is ~2x host-centric for short
+requests with one mqueue and up to ~15.3x with many mqueues; Bluefield
+always beats a single Xeon core but trails 6 Xeon cores for short
+requests; a single Xeon core cannot handle 240 mqueues even at 1.6ms.
+"""
+
+from ..apps.base import SpinApp
+from ..net.packet import UDP
+from .base import ExperimentResult, krps
+from .common import (
+    ALL_DESIGNS,
+    HOST_CENTRIC,
+    LYNX_BLUEFIELD,
+    LYNX_XEON_1,
+    LYNX_XEON_6,
+    deploy,
+    measure_saturation,
+)
+
+EXEC_TIMES = (20.0, 200.0, 800.0, 1600.0)
+MQUEUE_COUNTS = (1, 120, 240)
+MESSAGE_BYTES = 64
+
+#: rough per-design capacity guesses used ONLY to size offered load
+_CAP_GUESS = {
+    HOST_CENTRIC: 60e3,
+    LYNX_XEON_1: 400e3,
+    LYNX_XEON_6: 2.2e6,
+    LYNX_BLUEFIELD: 900e3,
+}
+
+
+def _offered_rate(design, exec_us, n_mq):
+    demand = n_mq / exec_us * 1e6  # what the GPU could possibly consume
+    return 1.4 * min(demand * 1.2 + 20e3, _CAP_GUESS[design])
+
+
+def measure_design(design, exec_us, n_mq, seed=42, measure=40000.0):
+    dep = deploy(design, app=SpinApp(exec_us),
+                 n_mqueues=(1 if design == HOST_CENTRIC else n_mq),
+                 proto=UDP, seed=seed)
+    offered = _offered_rate(design, exec_us, n_mq)
+    return measure_saturation(dep, lambda i: b"x" * MESSAGE_BYTES, offered,
+                              warmup=15000.0, measure=measure)
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E04", "GPU server throughput grid, relative to host-centric",
+        "Fig 6")
+    exec_times = (20.0, 200.0) if fast else EXEC_TIMES
+    mq_counts = (1, 240) if fast else MQUEUE_COUNTS
+    measure = 30000.0 if fast else 50000.0
+    for exec_us in exec_times:
+        # host-centric does not depend on the mqueue count
+        base = measure_design(HOST_CENTRIC, exec_us, 1, seed, measure)
+        for n_mq in mq_counts:
+            rates = {HOST_CENTRIC: base}
+            for design in (LYNX_XEON_1, LYNX_XEON_6, LYNX_BLUEFIELD):
+                rates[design] = measure_design(design, exec_us, n_mq, seed,
+                                               measure)
+            result.add(
+                exec_us=exec_us, mqueues=n_mq,
+                host_centric_krps=krps(base),
+                host_centric=1.0,
+                lynx_xeon1=round(rates[LYNX_XEON_1] / base, 2),
+                lynx_xeon6=round(rates[LYNX_XEON_6] / base, 2),
+                lynx_bluefield=round(rates[LYNX_BLUEFIELD] / base, 2),
+            )
+    result.note("paper: BF ~2x host-centric @20us/1mq, ~15.3x with many "
+                "mqueues; 1 Xeon core saturates below 240 mqueues' demand")
+    return result

@@ -1,0 +1,69 @@
+"""E05 — Figure 7: latency of Lynx on Bluefield vs Lynx on 6 Xeon cores.
+
+Ping-pong latency (one outstanding request), 64B UDP messages, request
+runtimes 5..1600us.  The mqueue count {1, 120, 240} scales the
+round-robin bookkeeping both platforms do per message — "both platforms
+spend more time on handling multiple mqueues" — not the offered load.
+The paper reports Bluefield up to ~1.4x slower for the shortest
+requests, the gap vanishing for runtimes >= ~150-200us and staying
+within ~10%% once the mqueue sweep dominates on both platforms.
+
+Absolute anchors (§6.2 text): with a zero-time kernel the end-to-end
+latency is ~25us via Bluefield and ~19us via the host, of which the
+SNIC-side span is 14us vs 11us.
+"""
+
+from ..apps.base import SpinApp
+from ..net.packet import UDP
+from .base import ExperimentResult
+from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, measure_closed_loop
+
+RUNTIMES = (5.0, 20.0, 50.0, 200.0, 400.0, 800.0, 1600.0)
+MQUEUE_COUNTS = (1, 120, 240)
+MESSAGE_BYTES = 64
+
+PAPER_E2E_BLUEFIELD_ZERO_KERNEL = 25.0
+PAPER_E2E_XEON_ZERO_KERNEL = 19.0
+
+
+def _latency(design, runtime_us, n_mq, seed, measure):
+    dep = deploy(design, app=SpinApp(runtime_us), n_mqueues=n_mq, proto=UDP,
+                 seed=seed)
+    _, latency = measure_closed_loop(
+        dep, lambda i: b"x" * MESSAGE_BYTES, concurrency=1,
+        warmup=10000.0, measure=measure)
+    return latency.p50()
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E05", "Lynx latency: Bluefield vs 6 Xeon cores (p50 slowdown)",
+        "Fig 7")
+    runtimes = (5.0, 200.0, 1600.0) if fast else RUNTIMES
+    mq_counts = (1, 240) if fast else MQUEUE_COUNTS
+    measure = 30000.0 if fast else 80000.0
+    for runtime_us in runtimes:
+        for n_mq in mq_counts:
+            bf = _latency(LYNX_BLUEFIELD, runtime_us, n_mq, seed, measure)
+            xeon = _latency(LYNX_XEON_6, runtime_us, n_mq, seed, measure)
+            result.add(runtime_us=runtime_us, mqueues=n_mq,
+                       bluefield_p50=round(bf, 1), xeon6_p50=round(xeon, 1),
+                       slowdown=round(bf / xeon, 3))
+    result.note("paper: slowdown <=1.4, converging to ~1.0 for runtimes "
+                ">=150us; within 10% at high mqueue counts")
+    return result
+
+
+def zero_kernel_anchor(seed=42):
+    """The §6.2 absolute numbers: e2e latency with a zero-time kernel."""
+    out = {}
+    for design, label in ((LYNX_BLUEFIELD, "bluefield"),
+                          (LYNX_XEON_6, "xeon")):
+        dep = deploy(design, app=SpinApp(0.0), n_mqueues=1, proto=UDP,
+                     seed=seed)
+        _, latency = measure_closed_loop(dep, lambda i: b"x" * 20,
+                                         concurrency=1, warmup=5000.0,
+                                         measure=20000.0)
+        out[label] = latency.p50()
+    return out

@@ -1,0 +1,100 @@
+"""E10 — Figure 8b: scale-out to remote GPUs.
+
+One Bluefield-resident Lynx serves LeNet on up to 12 Tesla K80 GPUs
+spread over three machines (4 local + 4 + 4 remote), with remote GPU
+mqueues reached through the remote hosts' RDMA NICs (§5.5).  Paper:
+throughput scales linearly (each K80 peaks at ~3.3 Kreq/s) and remote
+GPUs add ~8us latency.
+"""
+
+from ..apps.lenet import LeNetApp, MnistStream
+from ..config import K80
+from ..net import Address, ClosedLoopGenerator
+from ..net.packet import UDP
+from .base import ExperimentResult, krps
+from .testbed import Testbed
+
+PAPER_K80_KRPS = 3.3
+PAPER_REMOTE_EXTRA_US = 8.0
+
+CONFIGS = (
+    ("4 local", (4, 0, 0)),
+    ("4 local + 4 remote", (4, 4, 0)),
+    ("4 local + 8 remote", (4, 4, 4)),
+)
+
+
+def _build(counts, seed):
+    tb = Testbed(seed=seed)
+    env = tb.env
+    local = tb.machine("10.0.0.1")
+    remote1 = tb.machine("10.0.0.2")
+    remote2 = tb.machine("10.0.0.3")
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_bluefield(snic)
+    app = LeNetApp(compute_for_real=False)
+    gpus = []
+    for machine, n_gpus, remote in ((local, counts[0], False),
+                                    (remote1, counts[1], True),
+                                    (remote2, counts[2], True)):
+        for _ in range(n_gpus):
+            gpu = machine.add_gpu(K80)
+            env.process(runtime.start_gpu_service(
+                gpu, app, port=7777, n_mqueues=1, remote=remote))
+            gpus.append((gpu, remote))
+    env.run(until=500)
+    return tb, server, gpus
+
+
+def measure_config(counts, seed=42, measure_us=120000.0):
+    tb, server, gpus = _build(counts, seed)
+    stream = MnistStream(seed=seed)
+    total_gpus = sum(counts)
+    clients = [tb.client("10.0.9.%d" % i) for i in (1, 2)]
+    for client in clients:
+        ClosedLoopGenerator(tb.env, client, Address("10.0.0.100", 7777),
+                            concurrency=2 * total_gpus,
+                            payload_fn=lambda i: stream.sample(i)[0],
+                            proto=UDP, timeout=100000)
+    meters = [c.responses for c in clients]
+    tb.warmup_then_measure(meters, 60000.0, measure_us)
+    return sum(m.per_sec() for m in meters)
+
+
+def remote_latency_delta(seed=42, measure_us=80000.0):
+    """Single-request latency on a local vs a remote K80."""
+    lat = {}
+    for label, counts in (("local", (1, 0, 0)), ("remote", (0, 1, 0))):
+        tb, server, gpus = _build(counts, seed)
+        stream = MnistStream(seed=seed)
+        client = tb.client("10.0.9.1")
+        ClosedLoopGenerator(tb.env, client, Address("10.0.0.100", 7777),
+                            concurrency=1,
+                            payload_fn=lambda i: stream.sample(i)[0],
+                            proto=UDP)
+        tb.warmup_then_measure([client.latency], 30000.0, measure_us)
+        lat[label] = client.latency.p50()
+    return lat["remote"] - lat["local"]
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E10", "LeNet scale-out over local + remote K80 GPUs",
+        "Fig 8b")
+    measure_us = 120000.0 if fast else 400000.0
+    per_gpu = None
+    for label, counts in CONFIGS:
+        total = sum(counts)
+        tput = measure_config(counts, seed, measure_us)
+        if per_gpu is None:
+            per_gpu = tput / total
+        result.add(config=label, gpus=total, krps=krps(tput),
+                   linear_ideal_krps=krps(per_gpu * total),
+                   scaling_efficiency=round(tput / (per_gpu * total), 3),
+                   paper_krps=round(PAPER_K80_KRPS * total, 1))
+    delta = remote_latency_delta(seed, measure_us // 2)
+    result.note("remote GPU adds %.1fus latency (paper: ~%.0fus)"
+                % (delta, PAPER_REMOTE_EXTRA_US))
+    result.note("paper: linear scaling; each K80 peaks at ~3.3 Kreq/s")
+    return result

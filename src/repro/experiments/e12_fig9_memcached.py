@@ -1,0 +1,151 @@
+"""E12 — Figure 9: system efficiency — who should run where?
+
+Two placements of a GPU LeNet service (via Lynx) and a memcached
+co-tenant on one six-core Xeon host with a Bluefield:
+
+  A. "6 cores":          LeNet managed by the Bluefield (Lynx-on-SNIC);
+                         memcached gets all six host cores.
+  B. "5 cores + BF":     Lynx runs on one host core; memcached gets the
+                         other five host cores *plus* the Bluefield's
+                         ARM cores (throughput- or latency-optimized).
+
+Paper: LeNet serves 3.5 Kreq/s in both; memcached does ~250 Ktps per
+Xeon core at ~15us p99, while on Bluefield it peaks at ~400 Ktps but at
+~160us p99 — so under a 15us latency target the Bluefield contributes
+nothing, and placement A wins.
+"""
+
+from ..apps.lenet import LeNetApp, MnistStream
+from ..apps.memcached import MemcachedServer, encode_get, encode_set
+from ..config import XEON_VMA
+from ..net import Address, ClosedLoopGenerator
+from ..net.packet import UDP
+from .base import ExperimentResult, krps
+from .testbed import Testbed
+
+PAPER_XEON_KTPS_PER_CORE = 250.0
+PAPER_XEON_P99 = 15.0
+PAPER_BF_KTPS = 400.0
+PAPER_BF_P99 = 160.0
+PAPER_LENET_KRPS = 3.5
+
+#: closed-loop depth per memcached core (sets the latency/throughput
+#: trade-off exactly as the paper's load generator does)
+XEON_CONC_PER_CORE = 4
+BF_CONC = 64
+LATENCY_TARGET_US = 15.0
+
+
+def _drive_memcached(tb, address, concurrency, client_ip):
+    client = tb.client(client_ip)
+    ClosedLoopGenerator(tb.env, client, address, concurrency,
+                        payload_fn=lambda i: encode_get(b"key-%d" % (i % 64)),
+                        proto=UDP)
+    return client
+
+
+def _preload(server):
+    for i in range(64):
+        server.store.execute(encode_set(b"key-%d" % i, b"v" * 32))
+
+
+def _lenet_load(tb, address, seed):
+    stream = MnistStream(seed=seed)
+    client = tb.client("10.0.9.9")
+    ClosedLoopGenerator(tb.env, client, address, concurrency=3,
+                        payload_fn=lambda i: stream.sample(i)[0], proto=UDP)
+    return client
+
+
+def _config_a(seed, measure):
+    """LeNet on Bluefield; memcached on all 6 host cores."""
+    tb = Testbed(seed=seed)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_bluefield(snic)
+    app = LeNetApp(compute_for_real=False)
+    env.process(runtime.start_gpu_service(gpu, app, port=7777, n_mqueues=1))
+    env.run(until=500)
+    mc_nic = host.add_nic("10.0.0.11")
+    mc = MemcachedServer(env, mc_nic, host.pool(count=6, name="mc6"),
+                         XEON_VMA)
+    _preload(mc)
+    mc_client = _drive_memcached(tb, Address("10.0.0.11", 11211),
+                                 6 * XEON_CONC_PER_CORE, "10.0.9.1")
+    lenet_client = _lenet_load(tb, Address("10.0.0.100", 7777), seed)
+    tb.warmup_then_measure([mc_client.responses, mc_client.latency,
+                            lenet_client.responses], 30000.0, measure)
+    return (mc_client.responses.per_sec(), mc_client.latency.p99(),
+            lenet_client.responses.per_sec())
+
+
+def _config_b(seed, measure, latency_optimized):
+    """Lynx on one host core; memcached on 5 host cores + Bluefield."""
+    tb = Testbed(seed=seed)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_host(host, cores=1)
+    app = LeNetApp(compute_for_real=False)
+    env.process(runtime.start_gpu_service(gpu, app, port=7777, n_mqueues=1))
+    env.run(until=500)
+    mc_nic = host.add_nic("10.0.0.11")
+    mc_host = MemcachedServer(env, mc_nic, host.pool(count=5, name="mc5"),
+                              XEON_VMA)
+    _preload(mc_host)
+    mc_bf = MemcachedServer(env, snic.nic, snic.workers,
+                            snic.profile.stack)
+    _preload(mc_bf)
+    host_client = _drive_memcached(tb, Address("10.0.0.11", 11211),
+                                   5 * XEON_CONC_PER_CORE, "10.0.9.1")
+    bf_conc = 2 if latency_optimized else BF_CONC
+    bf_client = _drive_memcached(tb, Address("10.0.0.100", 11211),
+                                 bf_conc, "10.0.9.2")
+    lenet_client = _lenet_load(tb, Address("10.0.0.1", 7777), seed)
+    tb.warmup_then_measure([host_client.responses, host_client.latency,
+                            bf_client.responses, bf_client.latency,
+                            lenet_client.responses], 30000.0, measure)
+    bf_tput = bf_client.responses.per_sec()
+    bf_p99 = bf_client.latency.p99()
+    if latency_optimized and bf_p99 > LATENCY_TARGET_US:
+        # The paper's point: the target cannot be met on Bluefield, so
+        # under the SLO it contributes no usable throughput.
+        usable_bf = 0.0
+    else:
+        usable_bf = bf_tput
+    return (host_client.responses.per_sec(), host_client.latency.p99(),
+            bf_tput, bf_p99, usable_bf,
+            lenet_client.responses.per_sec())
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E12", "memcached placement vs Lynx offload (system efficiency)",
+        "Fig 9")
+    measure = 60000.0 if fast else 250000.0
+    a_tput, a_p99, a_lenet = _config_a(seed, measure)
+    result.add(config="A: memcached on 6 cores, LeNet on BF",
+               memcached_ktps=round(a_tput / 1000, 0),
+               memcached_p99_us=round(a_p99, 1),
+               bf_memcached_ktps=None, bf_p99_us=None,
+               lenet_krps=krps(a_lenet),
+               paper_ktps=6 * PAPER_XEON_KTPS_PER_CORE)
+    for latency_optimized, label in ((False, "throughput-optimized"),
+                                     (True, "latency-optimized")):
+        (h_tput, h_p99, bf_tput, bf_p99, usable_bf,
+         lenet) = _config_b(seed, measure, latency_optimized)
+        result.add(config="B: 5 cores + BF (%s)" % label,
+                   memcached_ktps=round((h_tput + usable_bf) / 1000, 0),
+                   memcached_p99_us=round(h_p99, 1),
+                   bf_memcached_ktps=round(bf_tput / 1000, 0),
+                   bf_p99_us=round(bf_p99, 1),
+                   lenet_krps=krps(lenet),
+                   paper_ktps=5 * PAPER_XEON_KTPS_PER_CORE
+                   + (0 if latency_optimized else PAPER_BF_KTPS))
+    result.note("paper: ~250 Ktps/Xeon core @15us p99; Bluefield ~400 Ktps "
+                "@160us p99; LeNet constant at 3.5 Kreq/s in either config")
+    return result

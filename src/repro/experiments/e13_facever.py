@@ -1,0 +1,126 @@
+"""E13 — §6.4 Face Verification: a multi-tier accelerated server.
+
+Requests carry a 12-byte person label + a 1024-byte probe photo; the
+server fetches the reference photo from a memcached tier (TCP) and runs
+LBP verification on the GPU (~50us kernel).  On Lynx the GPU itself
+performs the memcached access through client mqueues (28 server
+mqueues, one threadblock of 1024 threads each); the baseline fetches on
+the CPU and launches a compare kernel per request.
+
+Paper: Lynx achieves 4.4x (Bluefield) / 4.6x (Xeon core) the
+host-centric throughput (which peaks at two CPU cores); Lynx on
+Bluefield is ~5% slower than on Xeon due to its slower TCP stack.
+"""
+
+from ..apps.facever import (
+    BACKEND,
+    FaceDatabase,
+    FaceVerificationApp,
+    encode_request,
+    person_label,
+)
+from ..apps.memcached import MemcachedServer
+from ..baseline import HostCentricServer
+from ..config import K40M, XEON_VMA
+from ..net import Address, ClosedLoopGenerator
+from ..net.packet import TCP, UDP
+from .base import ExperimentResult, krps
+from .testbed import Testbed
+
+PAPER_SPEEDUP_BLUEFIELD = 4.4
+PAPER_SPEEDUP_XEON = 4.6
+N_MQUEUES = 28
+NUM_PEOPLE = 64
+
+
+def _base(seed, compute_for_real):
+    tb = Testbed(seed=seed)
+    env = tb.env
+    gpu_host = tb.machine("10.0.0.1")
+    gpu = gpu_host.add_gpu(K40M)
+    db_host = tb.machine("10.0.0.2")
+    # The database tier must not be the bottleneck: give it the whole
+    # six-core machine (the paper runs it "on a different host").
+    mc = MemcachedServer(env, db_host.nic, db_host.pool(count=6, name="mc"),
+                         XEON_VMA)
+    db = FaceDatabase(num_people=NUM_PEOPLE)
+    mc.store.preload(db.items())
+    app = FaceVerificationApp(compute_for_real=compute_for_real)
+    return tb, gpu_host, gpu, db, app
+
+
+def _drive(tb, address, db, seed, measure, concurrency):
+    def payload(i):
+        pid = i % NUM_PEOPLE
+        return encode_request(person_label(pid), db.probe(pid))
+
+    clients = [tb.client("10.0.9.%d" % i) for i in (1, 2)]
+    for client in clients:
+        ClosedLoopGenerator(tb.env, client, address,
+                            concurrency=concurrency // 2,
+                            payload_fn=payload, proto=UDP, timeout=200000)
+    meters = [c.responses for c in clients]
+    tb.warmup_then_measure(meters, 30000.0, measure)
+    return sum(m.per_sec() for m in meters)
+
+
+def measure_lynx(platform, seed=42, measure=80000.0, cores=1,
+                 compute_for_real=False):
+    tb, gpu_host, gpu, db, app = _base(seed, compute_for_real)
+    env = tb.env
+    if platform == "bluefield":
+        snic = tb.bluefield("10.0.0.100")
+        runtime, server = tb.lynx_on_bluefield(snic)
+        address = Address("10.0.0.100", 8000)
+    else:
+        runtime, server = tb.lynx_on_host(gpu_host, cores=cores)
+        address = Address("10.0.0.1", 8000)
+    env.process(runtime.start_gpu_service(
+        gpu, app, port=8000, n_mqueues=N_MQUEUES, proto=UDP,
+        backends={BACKEND: (Address("10.0.0.2", 11211), TCP)}))
+    env.run(until=20000)
+    return _drive(tb, address, db, seed, measure, concurrency=2 * N_MQUEUES)
+
+
+def measure_host_centric(cores=2, seed=42, measure=80000.0,
+                         compute_for_real=False):
+    tb, gpu_host, gpu, db, app = _base(seed, compute_for_real)
+    env = tb.env
+    server = HostCentricServer(env, gpu_host, [gpu], app, port=8000,
+                               cores=cores)
+    setup = env.process(server.add_backend(
+        BACKEND, Address("10.0.0.2", 11211), proto=TCP))
+    env.run(until=5000)
+    return _drive(tb, Address("10.0.0.1", 8000), db, seed, measure,
+                  concurrency=2 * N_MQUEUES)
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E13", "Face Verification (GPU + memcached tier) throughput",
+        "§6.4")
+    measure = 80000.0 if fast else 300000.0
+    hc1 = measure_host_centric(cores=1, seed=seed, measure=measure)
+    hc2 = measure_host_centric(cores=2, seed=seed, measure=measure)
+    base = max(hc1, hc2)
+    xeon = measure_lynx("xeon", cores=2, seed=seed, measure=measure)
+    bluefield = measure_lynx("bluefield", seed=seed, measure=measure)
+    result.add(design="host-centric 1 core", krps=krps(hc1),
+               speedup=round(hc1 / base, 2), paper_speedup=None)
+    result.add(design="host-centric 2 cores (best)", krps=krps(hc2),
+               speedup=round(hc2 / base, 2), paper_speedup=1.0)
+    result.add(design="lynx on xeon (2 cores)", krps=krps(xeon),
+               speedup=round(xeon / base, 2),
+               paper_speedup=PAPER_SPEEDUP_XEON)
+    result.add(design="lynx on bluefield", krps=krps(bluefield),
+               speedup=round(bluefield / base, 2),
+               paper_speedup=PAPER_SPEEDUP_BLUEFIELD)
+    result.note("paper: Lynx 4.4x (BF) / 4.6x (Xeon) over the best "
+                "host-centric config; BF ~5% behind Xeon (slower TCP)")
+    result.note("deviation: with TCP per-message costs calibrated to the "
+                "Fig 8c knees, a single Xeon core cannot carry the "
+                "paper's FaceVer backend traffic, so we give Lynx-on-"
+                "Xeon two cores; absolute speedups land at ~3x instead "
+                "of ~4.5x, orderings and the BF-vs-Xeon ~5% gap hold")
+    return result

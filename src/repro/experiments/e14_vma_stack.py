@@ -1,0 +1,73 @@
+"""E14 — §5.1.1: the VMA kernel-bypass library.
+
+Minimum-size UDP echo through Lynx with the kernel stack vs the VMA
+user-level stack.  Paper: VMA cuts UDP processing latency ~4x on the
+Bluefield's ARM cores and ~2x on the host Xeon.
+"""
+
+from dataclasses import replace
+
+from ..apps.base import EchoApp
+from ..config import (
+    ARM_KERNEL,
+    ARM_VMA,
+    BluefieldProfile,
+    K40M,
+    XEON_KERNEL,
+    XEON_VMA,
+)
+from ..net import Address, ClosedLoopGenerator
+from ..net.packet import UDP
+from .base import ExperimentResult
+from .testbed import Testbed
+
+PAPER_ARM_FACTOR = 4.0
+PAPER_XEON_FACTOR = 2.0
+MIN_UDP_BYTES = 4
+
+
+def _measure(platform, stack, seed, measure):
+    tb = Testbed(seed=seed)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu(K40M)
+    if platform == "bluefield":
+        profile = BluefieldProfile(stack=stack)
+        snic = tb.bluefield("10.0.0.100", profile=profile)
+        runtime, server = tb.lynx_on_bluefield(snic)
+        address = Address("10.0.0.100", 7777)
+    else:
+        runtime, server = tb.lynx_on_host(host, cores=6, stack=stack)
+        address = Address("10.0.0.1", 7777)
+    env.process(runtime.start_gpu_service(gpu, EchoApp(), port=7777,
+                                          n_mqueues=1))
+    env.run(until=200)
+    client = tb.client("10.0.9.1")
+    ClosedLoopGenerator(env, client, address, concurrency=1,
+                        payload_fn=lambda i: b"x" * MIN_UDP_BYTES, proto=UDP)
+    tb.warmup_then_measure([client.latency], 10000.0, measure)
+    stack_cost = (stack.udp_rx_fixed + stack.udp_tx_fixed
+                  + 2 * MIN_UDP_BYTES * stack.udp_per_byte)
+    return client.latency.p50(), stack_cost
+
+
+def run(fast=True, seed=42):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E14", "VMA kernel bypass vs the kernel stack (min-size UDP)",
+        "§5.1.1")
+    measure = 30000.0 if fast else 100000.0
+    for platform, vma, kernel, paper in (
+            ("bluefield", ARM_VMA, ARM_KERNEL, PAPER_ARM_FACTOR),
+            ("xeon", XEON_VMA, XEON_KERNEL, PAPER_XEON_FACTOR)):
+        vma_e2e, vma_cost = _measure(platform, vma, seed, measure)
+        kern_e2e, kern_cost = _measure(platform, kernel, seed, measure)
+        result.add(platform=platform,
+                   vma_e2e_us=round(vma_e2e, 1),
+                   kernel_e2e_us=round(kern_e2e, 1),
+                   stack_cost_ratio=round(kern_cost / vma_cost, 2),
+                   e2e_ratio=round(kern_e2e / vma_e2e, 2),
+                   paper_processing_ratio=paper)
+    result.note("paper factors apply to stack *processing* latency; the "
+                "e2e ratio is diluted by GPU/RDMA/wire components")
+    return result

@@ -1,0 +1,34 @@
+"""Hardware substrate: CPUs, caches, PCIe, NICs, GPUs, SmartNICs, VCA."""
+
+from .memory import MemoryRegion, HOST_DRAM_LATENCY, GPU_GDDR_LATENCY, SNIC_DRAM_LATENCY
+from .pcie import PcieLink, PcieFabric
+from .cache import LLCModel
+from .cpu import Core, CorePool, CpuSocket
+from .nic import Nic, RdmaNic
+from .gpu import GPU, CudaDriver
+from .smartnic import BluefieldSNIC, InnovaSNIC
+from .vca import IntelVCA, VcaNode, VcaNodeAccelerator
+from .machine import Machine
+
+__all__ = [
+    "MemoryRegion",
+    "HOST_DRAM_LATENCY",
+    "GPU_GDDR_LATENCY",
+    "SNIC_DRAM_LATENCY",
+    "PcieLink",
+    "PcieFabric",
+    "LLCModel",
+    "Core",
+    "CorePool",
+    "CpuSocket",
+    "Nic",
+    "RdmaNic",
+    "GPU",
+    "CudaDriver",
+    "BluefieldSNIC",
+    "InnovaSNIC",
+    "IntelVCA",
+    "VcaNode",
+    "VcaNodeAccelerator",
+    "Machine",
+]

@@ -1,0 +1,173 @@
+"""CPU cores and sockets.
+
+Two kinds of work run on cores:
+
+* *calibrated* work — network-stack and runtime costs whose durations
+  are already expressed for the owning platform (see
+  :mod:`repro.config`); charged as-is.
+* *compute* work — application cycles expressed in Xeon-core
+  microseconds; scaled by the core's ``speed_factor`` and subject to
+  LLC interference when a working set / memory intensity is declared.
+"""
+
+from ..errors import ConfigError
+from ..sim import Resource
+
+
+class Core:
+    """One CPU core (a unit-capacity resource with a cost model)."""
+
+    def __init__(self, env, profile, index, llc=None, name=None):
+        self.env = env
+        self.profile = profile
+        self.index = index
+        self.llc = llc
+        self.name = name or "%s/core%d" % (profile.name, index)
+        self._res = Resource(env, 1, name=self.name)
+
+    @property
+    def busy(self):
+        return self._res.in_use > 0
+
+    @property
+    def utilization(self):
+        return self._res.utilization.mean()
+
+    def run_calibrated(self, duration):
+        """Generator: occupy the core for a platform-calibrated duration."""
+        if duration < 0:
+            raise ConfigError("negative duration")
+        with self._res.request() as req:
+            yield req
+            yield self.env.timeout(duration)
+
+    def run_compute(self, xeon_us, memory_intensity=0.0, working_set=0):
+        """Generator: run compute work of *xeon_us* Xeon-microseconds.
+
+        The duration is scaled by the core speed and, if a working set
+        is declared, by the socket's LLC interference model.
+        """
+        if xeon_us < 0:
+            raise ConfigError("negative duration")
+        with self._res.request() as req:
+            yield req
+            duration = xeon_us / self.profile.speed_factor
+            token = None
+            if self.llc is not None and working_set > 0:
+                token = self.llc.occupy(working_set)
+            try:
+                if self.llc is not None and memory_intensity > 0:
+                    duration *= self.llc.penalty(memory_intensity)
+                yield self.env.timeout(duration)
+            finally:
+                if token is not None:
+                    self.llc.release(token)
+
+
+class CorePool:
+    """A set of interchangeable cores behind one run queue.
+
+    Used for worker pools (SNIC worker cores, host server cores) where
+    any core may pick up the next task.
+    """
+
+    def __init__(self, env, profile, count=None, llc=None, name=None):
+        count = profile.cores if count is None else count
+        if count < 1:
+            raise ConfigError("core pool needs at least one core")
+        self.env = env
+        self.profile = profile
+        self.count = count
+        self.llc = llc
+        self.name = name or "%s-pool" % profile.name
+        self._res = Resource(env, count, name=self.name)
+        #: pool-wide cache behaviour of calibrated (serving-path) work
+        self.default_memory_intensity = 0.0
+        self.default_working_set = 0
+
+    @property
+    def in_use(self):
+        return self._res.in_use
+
+    @property
+    def utilization(self):
+        return self._res.utilization.mean()
+
+    @property
+    def queue_depth(self):
+        return self._res.waiting
+
+    def run_calibrated(self, duration, priority=0, memory_intensity=None,
+                       working_set=None):
+        """Generator: any free core runs platform-calibrated work.
+
+        Lower *priority* values are served first when cores are
+        contended (egress work uses a negative priority so responses
+        are not starved by an ingress flood).  Memory intensity /
+        working set default to the pool-wide values so a whole serving
+        path can be made cache-sensitive at construction time.
+        """
+        if duration < 0:
+            raise ConfigError("negative duration")
+        if memory_intensity is None:
+            memory_intensity = self.default_memory_intensity
+        if working_set is None:
+            working_set = self.default_working_set
+        with self._res.request(priority=priority) as req:
+            yield req
+            yield from self._timed(duration, memory_intensity, working_set,
+                                   aggressor=False)
+
+    def run_compute(self, xeon_us, memory_intensity=0.0, working_set=0,
+                    priority=0, aggressor=False):
+        """Generator: any free core runs compute work (Xeon-us units).
+
+        *aggressor* marks cache-filling work that occupies the LLC but
+        only suffers the (mild) aggressor slowdown itself.
+        """
+        if xeon_us < 0:
+            raise ConfigError("negative duration")
+        with self._res.request(priority=priority) as req:
+            yield req
+            yield from self._timed(xeon_us / self.profile.speed_factor,
+                                   memory_intensity, working_set, aggressor)
+
+    def _timed(self, duration, memory_intensity, working_set, aggressor):
+        token = None
+        if self.llc is not None and working_set > 0:
+            token = self.llc.occupy(working_set)
+        try:
+            if self.llc is not None:
+                if aggressor:
+                    duration *= self.llc.aggressor_penalty()
+                elif memory_intensity > 0:
+                    duration *= self.llc.penalty(memory_intensity)
+            yield self.env.timeout(duration)
+        finally:
+            if token is not None:
+                self.llc.release(token)
+
+
+class CpuSocket:
+    """All the cores of one processor plus the shared LLC."""
+
+    def __init__(self, env, profile, cache_profile, rng, name=None):
+        from .cache import LLCModel
+
+        self.env = env
+        self.profile = profile
+        self.name = name or profile.name
+        self.llc = LLCModel(env, profile.llc_bytes, cache_profile, rng)
+        self.cores = [Core(env, profile, i, llc=self.llc,
+                           name="%s/core%d" % (self.name, i))
+                      for i in range(profile.cores)]
+
+    def pool(self, count=None, name=None):
+        """A fresh :class:`CorePool` drawing on this socket's profile.
+
+        Note: pools created here share the socket's LLC (interference
+        couples them) but model distinct core subsets, mirroring how the
+        paper pins workloads to disjoint cores.
+        """
+        return CorePool(self.env, self.profile, count=count, llc=self.llc,
+                        name=name)

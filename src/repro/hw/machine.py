@@ -1,0 +1,85 @@
+"""A physical server machine: CPU socket, PCIe fabric, NIC, accelerators.
+
+Mirrors the paper's testbed nodes (§6): Xeon E5-2620v2 hosts with a
+ConnectX-class RDMA NIC and one or more GPUs on the PCIe fabric.
+"""
+
+from .. import units
+from ..config import XEON_E5_2620, K40M, PcieProfile
+from ..errors import ConfigError
+from .cpu import CpuSocket
+from .gpu import GPU, CudaDriver
+from .nic import RdmaNic
+from .pcie import PcieFabric, PcieLink
+
+
+class Machine:
+    """One server host."""
+
+    def __init__(self, env, network, ip, config, cpu_profile=XEON_E5_2620,
+                 nic_rate=units.gbps(40), rng_registry=None, name=None):
+        self.env = env
+        self.network = network
+        self.ip = ip
+        self.config = config
+        self.name = name or "host-%s" % ip
+        if rng_registry is None:
+            raise ConfigError("machine requires an RNG registry")
+        self.rng_registry = rng_registry
+        self.socket = CpuSocket(
+            env, cpu_profile, config.cache,
+            rng_registry.stream("%s.llc" % self.name), name=self.name)
+        self.fabric = PcieFabric(env)
+        self.nic = RdmaNic(env, network, ip, config.rdma,
+                           link_rate=nic_rate, name="%s-nic" % self.name)
+        nic_link = PcieLink(env, PcieProfile.gen3_x8(),
+                            name="%s-nic-link" % self.name)
+        self.fabric.attach("nic", nic_link)
+        self.driver = CudaDriver(env, name="%s-cuda" % self.name)
+        self.gpus = []
+        self.devices = {}
+
+    # -- accelerators ---------------------------------------------------------
+
+    def add_gpu(self, profile=K40M, name=None):
+        """Install a GPU on the PCIe fabric; returns it."""
+        index = len(self.gpus)
+        gpu_name = name or "%s-gpu%d" % (self.name, index)
+        link = PcieLink(env=self.env, profile=PcieProfile.gen3_x16(),
+                        name="%s-link" % gpu_name)
+        gpu = GPU(self.env, profile, self.driver, pcie_link=link,
+                  name=gpu_name, index=index)
+        self.fabric.attach(gpu_name, link)
+        self.gpus.append(gpu)
+        self.devices[gpu_name] = gpu
+        return gpu
+
+    def add_nic(self, ip, nic_rate=units.gbps(40)):
+        """Install an additional NIC port (its own IP) on this host.
+
+        Needed when several independent servers share the machine (the
+        Fig 9 configuration runs memcached next to Lynx on one host).
+        """
+        index = len([d for d in self.devices if d.startswith("nic")]) + 1
+        nic = RdmaNic(self.env, self.network, ip, self.config.rdma,
+                      link_rate=nic_rate,
+                      name="%s-nic%d" % (self.name, index))
+        link = PcieLink(self.env, PcieProfile.gen3_x8(),
+                        name="%s-nic%d-link" % (self.name, index))
+        self.fabric.attach("nic%d" % index, link)
+        self.devices["nic%d" % index] = nic
+        return nic
+
+    def add_device(self, name, device):
+        """Register a non-GPU accelerator (e.g. the Intel VCA)."""
+        if name in self.devices:
+            raise ConfigError("device %r already present" % name)
+        self.devices[name] = device
+        return device
+
+    def pool(self, count=None, name=None):
+        """A worker pool over this machine's cores (shares the LLC)."""
+        return self.socket.pool(count=count, name=name)
+
+    def __repr__(self):
+        return "<Machine %s ip=%s gpus=%d>" % (self.name, self.ip, len(self.gpus))

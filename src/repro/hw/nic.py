@@ -1,0 +1,59 @@
+"""Network interface cards.
+
+:class:`Nic` is a plain port (RX queue + serialized TX).
+:class:`RdmaNic` adds a ConnectX-class one-sided RDMA engine — the
+piece Lynx uses to reach mqueues in accelerator memory, both locally
+(peer-to-peer PCIe) and on remote machines (§5.5).
+"""
+
+from .. import units
+from ..sim import Resource, Store, RateMeter
+from ..net.rdma import RdmaEngine
+
+
+class Nic:
+    """A NIC port attached to the network fabric."""
+
+    #: descriptors in the RX ring; overflow is dropped (drop-tail)
+    RX_RING_ENTRIES = 1024
+
+    def __init__(self, env, network, ip, link_rate=units.gbps(40), name=None,
+                 rx_ring_entries=None):
+        self.env = env
+        self.network = network
+        self.ip = ip
+        self.link_rate = link_rate
+        self.name = name or "nic-%s" % ip
+        self.rx = Store(env, capacity=rx_ring_entries or self.RX_RING_ENTRIES,
+                        name="%s-rx" % self.name)
+        self._tx = Resource(env, 1, name="%s-tx" % self.name)
+        self.tx_rate = RateMeter(env, name="%s-txrate" % self.name)
+        self.rx_rate = RateMeter(env, name="%s-rxrate" % self.name)
+        network.attach(ip, self)
+
+    def send(self, msg):
+        """Generator: serialize *msg* out of the port."""
+        with self._tx.request() as req:
+            yield req
+            yield self.env.timeout(msg.wire_size / self.link_rate)
+        self.tx_rate.tick()
+        self.network.deliver(msg)
+
+    def send_async(self, msg):
+        """Fire-and-forget variant of :meth:`send`."""
+        self.env.process(self.send(msg), name="%s-send" % self.name)
+
+    def recv(self):
+        """Event: next received message (also counts RX rate)."""
+        get = self.rx.get()
+        get.callbacks.append(lambda evt: self.rx_rate.tick())
+        return get
+
+
+class RdmaNic(Nic):
+    """A NIC with a hardware RDMA engine (ConnectX-4/5, Bluefield ASIC)."""
+
+    def __init__(self, env, network, ip, rdma_profile,
+                 link_rate=units.gbps(40), name=None):
+        super().__init__(env, network, ip, link_rate, name)
+        self.rdma = RdmaEngine(env, rdma_profile, name="%s-rdma" % self.name)

@@ -1,0 +1,74 @@
+"""PCIe links and peer-to-peer DMA paths.
+
+Lynx's data plane rides on PCIe peer-to-peer DMA between the (Smart)NIC
+and accelerator BARs (Figure 3): the host CPU is not on the path.  We
+model each link as a pair of per-direction serialized channels with a
+fixed traversal latency plus size/bandwidth serialization delay.
+"""
+
+from ..errors import ConfigError
+from ..sim import Resource
+
+
+class PcieLink:
+    """A bidirectional PCIe link (e.g. device <-> switch/root complex)."""
+
+    def __init__(self, env, profile, name=None):
+        self.env = env
+        self.profile = profile
+        self.name = name or profile.name
+        self._channel = {
+            "up": Resource(env, 1, name="%s-up" % self.name),
+            "down": Resource(env, 1, name="%s-down" % self.name),
+        }
+
+    def transfer(self, nbytes, direction="down"):
+        """Generator: move *nbytes* across the link in *direction*."""
+        if direction not in self._channel:
+            raise ConfigError("bad PCIe direction %r" % direction)
+        channel = self._channel[direction]
+        with channel.request() as req:
+            yield req
+            yield self.env.timeout(
+                self.profile.latency + nbytes / self.profile.bandwidth)
+
+    def transfer_time(self, nbytes):
+        """Uncontended transfer time for *nbytes* (for analytic checks)."""
+        return self.profile.latency + nbytes / self.profile.bandwidth
+
+
+class PcieFabric:
+    """The PCIe topology inside one machine.
+
+    Devices attach with their link; a DMA between two devices traverses
+    both links (through the switch / root complex), which adds a small
+    hop latency.  P2P DMA never touches a CPU core — exactly the
+    property Lynx relies on.
+    """
+
+    def __init__(self, env, hop_latency=0.2):
+        self.env = env
+        self.hop_latency = hop_latency
+        self._links = {}
+
+    def attach(self, device_name, link):
+        if device_name in self._links:
+            raise ConfigError("device %r already attached" % device_name)
+        self._links[device_name] = link
+
+    def link_of(self, device_name):
+        try:
+            return self._links[device_name]
+        except KeyError:
+            raise ConfigError("device %r not on this PCIe fabric" % device_name)
+
+    def dma(self, src, dst, nbytes):
+        """Generator: peer-to-peer DMA of *nbytes* from *src* to *dst*."""
+        src_link = self.link_of(src)
+        dst_link = self.link_of(dst)
+        yield from src_link.transfer(nbytes, "up")
+        yield self.env.timeout(self.hop_latency)
+        yield from dst_link.transfer(nbytes, "down")
+
+    def devices(self):
+        return tuple(self._links)

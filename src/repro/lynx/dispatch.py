@@ -1,0 +1,69 @@
+"""Message dispatching policies (§4.2).
+
+The ingress-side Message Dispatcher picks the mqueue a request goes to:
+round-robin / least-loaded for stateless services, client steering for
+stateful ones.
+"""
+
+import zlib
+
+from ..errors import ConfigError
+
+
+class DispatchPolicy:
+    """Base class: pick an mqueue for an incoming message."""
+
+    def select(self, mqueues, msg):
+        """Return the mqueue that should receive *msg*."""
+        raise NotImplementedError
+
+
+class RoundRobin(DispatchPolicy):
+    """Cycle through the mqueues (the paper's default, §4.3)."""
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, mqueues, msg):
+        """Pick the next mqueue in rotation."""
+        if not mqueues:
+            raise ConfigError("no mqueues bound")
+        mq = mqueues[self._next % len(mqueues)]
+        self._next += 1
+        return mq
+
+
+class LeastLoaded(DispatchPolicy):
+    """Pick the mqueue with the fewest in-flight requests."""
+
+    def select(self, mqueues, msg):
+        """Pick the mqueue with the lowest RX occupancy."""
+        if not mqueues:
+            raise ConfigError("no mqueues bound")
+        return min(mqueues, key=lambda mq: mq.rx_occupancy)
+
+
+class ClientSteering(DispatchPolicy):
+    """Stateful services: a given client always lands on the same mqueue."""
+
+    def select(self, mqueues, msg):
+        """Hash the client address onto a stable mqueue."""
+        if not mqueues:
+            raise ConfigError("no mqueues bound")
+        key = "%s:%d" % (msg.src.ip, msg.src.port)
+        digest = zlib.crc32(key.encode("utf-8"))
+        return mqueues[digest % len(mqueues)]
+
+
+def make_policy(name):
+    """Factory by name (used by runtime configuration)."""
+    policies = {
+        "round-robin": RoundRobin,
+        "least-loaded": LeastLoaded,
+        "steering": ClientSteering,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ConfigError("unknown dispatch policy %r (have: %s)"
+                          % (name, ", ".join(sorted(policies))))

@@ -1,0 +1,155 @@
+"""Message queues (mqueues) — Lynx's accelerator-facing abstraction (§4.2).
+
+An mqueue is a pair of producer-consumer rings (RX and TX) plus
+notification registers, resident in **accelerator local memory** so that
+the accelerator's enqueue/dequeue cost is exactly a local memory access.
+The SNIC reaches the rings remotely via one-sided RDMA (see
+:mod:`repro.lynx.rmq`).
+
+Two types (§4.3):
+
+* **server** mqueues are connection-less and bound to a listening port;
+  a response is routed back to whichever client sent the request
+  (multiple client connections multiplex onto one ring);
+* **client** mqueues carry requests to one statically-configured
+  destination (e.g. a memcached backend) and receive its responses.
+"""
+
+from itertools import count
+
+from ..errors import CapacityError, ConfigError
+from ..sim import Store
+
+SERVER = "server"
+CLIENT = "client"
+
+#: error codes carried in the 4-byte metadata (§5.1)
+ERR_NONE = 0
+ERR_CONNECTION = 1
+ERR_TIMEOUT = 2
+
+_mq_ids = count(1)
+
+#: §5.1: 4 bytes of metadata (size, error, doorbell) coalesced with the
+#: payload into a single RDMA write.
+METADATA_BYTES = 4
+
+
+class MQueueEntry:
+    """One ring slot: payload plus the 4-byte control metadata."""
+
+    __slots__ = ("payload", "size", "error", "request_msg", "enqueued_at")
+
+    def __init__(self, payload, size, request_msg=None, error=0,
+                 enqueued_at=0.0):
+        self.payload = payload
+        self.size = size
+        self.error = error
+        #: the network message this entry came from (zero-copy reference;
+        #: carries reply routing: source address, TCP connection, ...)
+        self.request_msg = request_msg
+        self.enqueued_at = enqueued_at
+
+
+class MQueue:
+    """One mqueue: RX + TX rings in accelerator memory."""
+
+    def __init__(self, env, memory, entries, kind=SERVER, destination=None,
+                 proto="udp", name=None):
+        if entries < 1:
+            raise ConfigError("mqueue needs at least one ring entry")
+        if kind not in (SERVER, CLIENT):
+            raise ConfigError("unknown mqueue kind %r" % kind)
+        if kind == CLIENT and destination is None:
+            raise ConfigError(
+                "client mqueues bind their destination at init (§4.3)")
+        if kind == SERVER and destination is not None:
+            raise ConfigError("server mqueues are connection-less")
+        self.env = env
+        self.mq_id = next(_mq_ids)
+        self.memory = memory
+        self.entries = entries
+        self.kind = kind
+        self.destination = destination
+        self.proto = proto
+        self.name = name or "mq%d" % self.mq_id
+        # Rings. Stores model the data; explicit occupancy accounting
+        # below models what the SNIC-side shadow indices can see.
+        self.rx_ring = Store(env, capacity=entries, name="%s-rx" % self.name)
+        self.tx_ring = Store(env, capacity=entries, name="%s-tx" % self.name)
+        #: doorbell channel to the Remote MQ Manager (set on registration)
+        self.tx_doorbell = None
+        #: source port the SNIC uses for this client mqueue's traffic
+        self.src_port = None
+        #: TCP connection of a client mqueue (established at setup)
+        self.conn = None
+        #: the port binding that owns this server mqueue (at most one)
+        self.bound_port = None
+        # occupancy visible to the dispatcher (ring slots claimed by
+        # in-flight RDMA writes count too)
+        self._rx_claimed = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.sent = 0
+
+    # -- SNIC-side (RDMA producer) ---------------------------------------------
+
+    def claim_rx_slot(self):
+        """Reserve an RX slot if one is free; False means drop (UDP)."""
+        if self._rx_claimed >= self.entries:
+            self.dropped += 1
+            return False
+        self._rx_claimed += 1
+        return True
+
+    def complete_rx(self, entry):
+        """Finish an RDMA delivery: the entry becomes visible on the ring."""
+        if self._rx_claimed <= 0:
+            raise CapacityError("completing an unclaimed RX slot on %s" % self.name)
+        entry.enqueued_at = self.env.now
+        self.delivered += 1
+        # The Store put cannot block: claim accounting guarantees space.
+        put = self.rx_ring.put(entry)
+        if not put.triggered:
+            raise CapacityError("RX ring overflow on %s despite claim" % self.name)
+
+    def abort_rx(self):
+        """Release a claimed slot after a failed delivery."""
+        if self._rx_claimed <= 0:
+            raise CapacityError("aborting an unclaimed RX slot on %s" % self.name)
+        self._rx_claimed -= 1
+
+    # -- accelerator-side ---------------------------------------------------------
+
+    def pop_rx(self):
+        """Event: the accelerator's blocking dequeue from the RX ring."""
+        get = self.rx_ring.get()
+        get.callbacks.append(self._on_rx_pop)
+        return get
+
+    def _on_rx_pop(self, event):
+        self._rx_claimed -= 1
+
+    def push_tx(self, entry):
+        """Event: the accelerator's enqueue onto the TX ring."""
+        entry.enqueued_at = self.env.now
+        self.sent += 1
+        return self.tx_ring.put(entry)
+
+    def ring_doorbell(self):
+        """Notify the SNIC that TX work is pending (doorbell register)."""
+        if self.tx_doorbell is None:
+            raise ConfigError("mqueue %s is not registered with an RMQ manager"
+                              % self.name)
+        self.tx_doorbell.put(self)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def rx_occupancy(self):
+        return self._rx_claimed
+
+    def __repr__(self):
+        return "<MQueue %s kind=%s rx=%d tx=%d dropped=%d>" % (
+            self.name, self.kind, len(self.rx_ring), len(self.tx_ring),
+            self.dropped)

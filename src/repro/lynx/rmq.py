@@ -1,0 +1,146 @@
+"""Remote Message Queue Manager (§4.2, §5.1).
+
+Runs on the SNIC and owns all RDMA access to one accelerator's mqueues:
+
+* **ingress** — after the dispatcher picks an mqueue, the manager posts
+  a one-sided RDMA write of payload + 4B coalesced metadata into the RX
+  ring.  If the accelerator requires the PCIe-ordering workaround
+  (§5.1), delivery becomes three operations (data write, barrier read,
+  doorbell write) and coalescing is disabled, costing ~5us extra.
+* **egress** — the accelerator cannot interrupt the SNIC, so the
+  manager *polls* TX doorbells over RDMA.  We model the poll loop as
+  doorbell-armed sweeps: a sweep visits every ring of the accelerator
+  (costing per-ring scan time on an SNIC core), issues an RDMA read to
+  fetch pending responses, and hands them to the forwarder.  Sweeps
+  repeat at the configured interval while work remains.
+
+Per §5.1 all mqueues of one accelerator share a single RC QP.
+"""
+
+from ..errors import ConfigError
+from ..sim import Store
+from .mqueue import METADATA_BYTES, MQueueEntry
+
+
+class RemoteMQManager:
+    """SNIC-side manager of one accelerator's mqueues."""
+
+    def __init__(self, env, accelerator, qp, workers, lynx_profile,
+                 needs_barrier=False, name=None):
+        self.env = env
+        self.accelerator = accelerator
+        self.qp = qp
+        self.workers = workers
+        self.profile = lynx_profile
+        self.needs_barrier = needs_barrier
+        self.name = name or "rmq-%s" % getattr(accelerator, "name", "accel")
+        self.mqueues = []
+        self._doorbells = Store(env, name="%s-doorbells" % self.name)
+        self._tx_sink = None
+        self._poller = env.process(self._tx_poll_loop(),
+                                   name="%s-poller" % self.name)
+        self.deliveries = 0
+        self.sweeps = 0
+
+    @property
+    def engine(self):
+        return self.qp.engine
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, mq):
+        """Attach an mqueue of this accelerator to the manager."""
+        if mq.tx_doorbell is not None:
+            raise ConfigError("mqueue %s already registered" % mq.name)
+        mq.tx_doorbell = self._doorbells
+        self.mqueues.append(mq)
+        return mq
+
+    def on_tx(self, callback):
+        """Install the forwarder callback: ``callback(mq, entry)``."""
+        self._tx_sink = callback
+
+    # -- ingress -------------------------------------------------------------------
+
+    def deliver(self, mq, msg):
+        """Called by a worker after dispatch: start the RDMA delivery.
+
+        Returns True if a ring slot was claimed (the write proceeds
+        asynchronously), False if the ring was full and the message was
+        dropped — UDP semantics under overload.
+        """
+        if mq not in self.mqueues:
+            raise ConfigError("mqueue %s is not managed by %s" % (mq.name, self.name))
+        if not mq.claim_rx_slot():
+            return False
+        self.env.process(self._rdma_deliver(mq, msg),
+                         name="%s-deliver" % self.name)
+        return True
+
+    def _rdma_deliver(self, mq, msg):
+        entry = MQueueEntry(payload=msg.payload, size=msg.size,
+                            request_msg=msg)
+        nbytes = msg.size + METADATA_BYTES
+        if self.needs_barrier or not self.profile.coalesce_metadata:
+            # Three transactions: payload, write barrier, doorbell.
+            yield from self.engine.write(self.qp, msg.size)
+            if self.needs_barrier:
+                yield from self.engine.barrier_read(self.qp)
+            yield from self.engine.write(self.qp, METADATA_BYTES)
+        else:
+            # Metadata coalesced with the payload: one RDMA write, and
+            # the doorbell (last word) becomes visible after the data.
+            yield from self.engine.write(self.qp, nbytes)
+        self.deliveries += 1
+        if msg.meta is not None:
+            msg.meta["t_delivered"] = self.env.now
+        mq.complete_rx(entry)
+
+    # -- egress ----------------------------------------------------------------------
+
+    def _tx_poll_loop(self):
+        env = self.env
+        while True:
+            yield self._doorbells.get()
+            self._drain_doorbells()
+            while True:
+                collected = yield from self._sweep()
+                # Tokens raised before/during the sweep are satisfied by
+                # it (a sweep visits every ring), so consume them before
+                # deciding whether to go back to sleep.
+                self._drain_doorbells()
+                if collected == 0 and len(self._doorbells) == 0:
+                    break
+                yield env.timeout(self.profile.sweep_interval)
+
+    def _drain_doorbells(self):
+        while self._doorbells.try_get() is not None:
+            pass
+
+    def _sweep(self):
+        """One doorbell sweep over every ring of this accelerator."""
+        self.sweeps += 1
+        scan_cost = self.profile.mqueue_visit_cost * max(1, len(self.mqueues))
+        yield from self.workers.run_compute(scan_cost, priority=-1)
+        # Doorbells are *discovered* by reading the notification region
+        # over RDMA — one read round trip per sweep (§4.3: "both the
+        # accelerator and the SNIC use polling").
+        yield from self.engine.read(self.qp, 4 * max(1, len(self.mqueues)))
+        pending = []
+        total_bytes = 0
+        for mq in self.mqueues:
+            while True:
+                entry = mq.tx_ring.try_get()
+                if entry is None:
+                    break
+                pending.append((mq, entry))
+                total_bytes += entry.size + METADATA_BYTES
+        if not pending:
+            return 0
+        # One RDMA read fetches the freshly produced ring region.
+        yield from self.engine.read(self.qp, total_bytes)
+        if self._tx_sink is None:
+            raise ConfigError("no forwarder installed on %s" % self.name)
+        for mq, entry in pending:
+            self._tx_sink(mq, entry)
+        return len(pending)

@@ -1,0 +1,205 @@
+"""Lynx runtime: host-CPU setup path and accelerator service plumbing.
+
+Faithful to §4.3 "Using mqueues": a host CPU allocates mqueues in
+accelerator memory, hands the pointers to the SNIC server and the
+accelerator, starts the accelerator's persistent kernel — **and then
+goes idle**.  After ``start_gpu_service`` returns, no host core appears
+on the data path; tests assert this.
+"""
+
+from ..errors import ConfigError
+from ..net.packet import TCP, UDP
+from .iolib import AcceleratorIO
+from .mqueue import CLIENT, MQueue, SERVER
+from .rmq import RemoteMQManager
+
+
+class AppContext:
+    """Everything an accelerator-resident application handler can touch."""
+
+    def __init__(self, env, io, gpu, mq, client_mqs=None, tb_index=0):
+        self.env = env
+        self.io = io
+        self.gpu = gpu
+        self.mq = mq
+        self.client_mqs = client_mqs or {}
+        self.tb_index = tb_index
+
+    def compute(self, duration, dynamic_parallelism=False):
+        """Generator: run *duration* (K40m-us) of GPU work.
+
+        With ``dynamic_parallelism`` the work runs as a device-launched
+        child kernel (the LeNet server's structure, §6.3); otherwise it
+        executes inline in the calling threadblock.
+        """
+        if self.gpu is None:
+            yield self.env.timeout(duration)
+        elif dynamic_parallelism:
+            yield from self.gpu.child_launch(duration)
+        else:
+            yield self.env.timeout(self.gpu.scaled(duration))
+
+    def call(self, backend, payload):
+        """Generator: RPC to a backend over this context's client mqueue.
+
+        Sends *payload* and blocks for the response entry — the
+        Face Verification server's memcached access pattern (§6.4).
+        """
+        try:
+            mq = self.client_mqs[backend]
+        except KeyError:
+            raise ConfigError("no client mqueue for backend %r (have: %s)"
+                              % (backend, ", ".join(sorted(self.client_mqs))))
+        yield from self.io.send(mq, payload)
+        entry = yield from self.io.recv(mq)
+        return entry
+
+
+class GpuService:
+    """Handle onto a started accelerator service (for stats/tests)."""
+
+    def __init__(self, gpu, manager, mqueues, contexts, threadblocks):
+        self.gpu = gpu
+        self.manager = manager
+        self.mqueues = mqueues
+        self.contexts = contexts
+        self.threadblocks = threadblocks
+
+    @property
+    def dropped(self):
+        return sum(mq.dropped for mq in self.mqueues)
+
+    @property
+    def delivered(self):
+        return sum(mq.delivered for mq in self.mqueues)
+
+
+class LynxRuntime:
+    """Configuration-time API of Lynx (runs on the host CPU)."""
+
+    def __init__(self, env, server, config):
+        self.env = env
+        self.server = server
+        self.config = config
+        self._managers = {}
+
+    # -- accelerator attachment ------------------------------------------------
+
+    def attach_accelerator(self, accel, memory=None, remote=False,
+                           needs_barrier=None):
+        """Create the RC QP + Remote MQ Manager for an accelerator.
+
+        *remote* accelerators sit in another machine behind their own
+        RDMA NIC (§5.5) — the only difference is extra RDMA latency,
+        which is the point of the design.
+        """
+        key = id(accel)
+        if key in self._managers:
+            return self._managers[key]
+        memory = memory if memory is not None else accel.memory
+        if not memory.exposed_on_pcie:
+            raise ConfigError(
+                "accelerator memory must be BAR-exposed for peer DMA (§4.4)")
+        if needs_barrier is None:
+            needs_barrier = bool(getattr(
+                getattr(accel, "profile", None), "needs_write_barrier", False))
+        qp = self.server.nic.rdma.connect(memory, remote=remote,
+                                          name="qp-%s" % accel.name)
+        manager = RemoteMQManager(self.env, accel, qp, self.server.workers,
+                                  self.config.lynx,
+                                  needs_barrier=needs_barrier)
+        self.server.add_manager(manager)
+        self._managers[key] = manager
+        return manager
+
+    # -- mqueue creation -----------------------------------------------------------
+
+    def create_server_mqueues(self, accel, port, count, proto=UDP,
+                              policy=None, memory=None, remote=False):
+        """Allocate *count* server mqueues in accelerator memory and
+        bind them to *port* on the SNIC."""
+        manager = self.attach_accelerator(accel, memory=memory, remote=remote)
+        mqs = []
+        for i in range(count):
+            mq = MQueue(self.env, manager.qp.target,
+                        entries=self.config.lynx.ring_entries, kind=SERVER,
+                        proto=proto,
+                        name="%s-smq%d-p%d" % (accel.name, i, port))
+            manager.register(mq)
+            mqs.append(mq)
+        self.server.bind(port, mqs, policy=policy)
+        return mqs
+
+    def create_client_mqueue(self, accel, destination, proto=TCP,
+                             memory=None, remote=False, name=None):
+        """Generator: allocate a client mqueue bound to *destination*
+        and (for TCP) establish its static connection."""
+        manager = self.attach_accelerator(accel, memory=memory, remote=remote)
+        mq = MQueue(self.env, manager.qp.target,
+                    entries=self.config.lynx.ring_entries, kind=CLIENT,
+                    destination=destination, proto=proto,
+                    name=name or "%s-cmq" % accel.name)
+        manager.register(mq)
+        self.server.register_client_mqueue(mq)
+        yield from self.server.connect_client_mqueue(mq)
+        return mq
+
+    # -- full GPU service bring-up ----------------------------------------------------
+
+    def start_gpu_service(self, gpu, app, port, n_mqueues=1, proto=UDP,
+                          policy=None, backends=None, remote=False):
+        """Generator: bring up a complete accelerator-resident service.
+
+        * allocates *n_mqueues* server mqueues on *port*;
+        * creates one client mqueue per (threadblock, backend) pair for
+          the app's outbound RPCs;
+        * starts a persistent GPU kernel with one threadblock per
+          server mqueue running ``app.handle``.
+
+        Returns a :class:`GpuService`.  The host CPU's job ends here.
+        """
+        backends = backends or {}
+        mqs = self.create_server_mqueues(gpu, port, n_mqueues, proto=proto,
+                                         policy=policy, remote=remote)
+        manager = self.attach_accelerator(gpu, remote=remote)
+        io = AcceleratorIO(self.env, gpu.poll_latency)
+        contexts = []
+        for tb, mq in enumerate(mqs):
+            client_mqs = {}
+            for backend_name, (dest, backend_proto) in backends.items():
+                client_mqs[backend_name] = (yield from self.create_client_mqueue(
+                    gpu, dest, proto=backend_proto, remote=remote,
+                    name="%s-cmq-%s-tb%d" % (gpu.name, backend_name, tb)))
+            contexts.append(AppContext(self.env, io, gpu, mq,
+                                       client_mqs=client_mqs, tb_index=tb))
+
+        def body_factory(tb):
+            return _service_loop(self.env, io, app, contexts[tb])
+
+        procs = gpu.persistent_kernel(n_mqueues, body_factory,
+                                      name="%s-%s" % (gpu.name, app.name))
+        return GpuService(gpu, manager, mqs, contexts, procs)
+
+
+    def start_pipeline(self, stages, port, proto=UDP):
+        """Generator: compose accelerators into a pipeline (see
+        :mod:`repro.lynx.pipeline`)."""
+        from .pipeline import start_pipeline
+
+        return (yield from start_pipeline(self, stages, port, proto=proto))
+
+
+def _service_loop(env, io, app, ctx):
+    """One threadblock's request loop (runs until killed)."""
+    from ..sim import Interrupt
+
+    try:
+        while True:
+            entry = yield from io.recv(ctx.mq)
+            result = yield from app.handle(ctx, entry)
+            if result is not None:
+                yield from io.send(ctx.mq, result, reply_to=entry)
+    except Interrupt:
+        # failure injection: the threadblock dies quietly; upstream
+        # stages observe it through backend timeouts (§5.1 metadata)
+        return

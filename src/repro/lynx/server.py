@@ -1,0 +1,252 @@
+"""The generic network server Lynx runs on the SNIC (§4.2).
+
+Application-agnostic: it terminates UDP/TCP with the platform's stack,
+dispatches requests into mqueues via the Remote MQ Managers, forwards
+responses back to clients, and relays client-mqueue traffic to backend
+services.  No accelerator-specific code runs here — that is the whole
+point of the design.
+
+All CPU work is charged on the SNIC's worker core pool, so core
+contention (7 slow ARM cores vs 1-6 Xeon cores) falls out naturally.
+"""
+
+from ..errors import ConfigError, NetworkError
+from ..net.packet import Address, Message, TCP
+from ..net.stack import NetworkStack, TcpConnection
+from ..sim import NullTracer, RateMeter
+from .dispatch import RoundRobin
+from .mqueue import CLIENT, ERR_CONNECTION, ERR_TIMEOUT, MQueueEntry, SERVER
+
+
+class _PortBinding:
+    """A listening port: its dispatch policy, mqueues and tenant stats."""
+
+    __slots__ = ("port", "policy", "mqueues", "requests", "responses")
+
+    def __init__(self, env, port, policy):
+        self.port = port
+        self.policy = policy
+        self.mqueues = []
+        #: per-tenant accounting (§4.5 multi-tenancy)
+        self.requests = RateMeter(env, name="port%d-reqs" % port)
+        self.responses = RateMeter(env, name="port%d-resps" % port)
+
+
+class LynxServer:
+    """The SNIC-resident network server + dispatcher + forwarder."""
+
+    def __init__(self, env, nic, workers, stack_profile, lynx_profile,
+                 name=None, tracer=None):
+        self.env = env
+        self.nic = nic
+        self.workers = workers
+        self.profile = lynx_profile
+        self.tracer = tracer or NullTracer()
+        self.name = name or "lynx@%s" % nic.ip
+        self.stack = NetworkStack(env, workers, stack_profile,
+                                  name="%s-stack" % self.name)
+        self._ports = {}
+        self._managers = []
+        self._client_mq_by_port = {}
+        self._next_client_port = 9000
+        self._synack_waiters = {}
+        self._pending_backend = {}
+        self.requests = RateMeter(env, name="%s-reqs" % self.name)
+        self.responses = RateMeter(env, name="%s-resps" % self.name)
+        self.dropped = 0
+        # One ingress loop per worker core: admission is bounded by core
+        # availability, and overload is shed at the NIC RX ring instead
+        # of building an unbounded software backlog.
+        for i in range(workers.count):
+            env.process(self._rx_loop(), name="%s-rx%d" % (self.name, i))
+
+    @property
+    def ip(self):
+        return self.nic.ip
+
+    # -- configuration ----------------------------------------------------------
+
+    def add_manager(self, manager):
+        """Attach a Remote MQ Manager (one per accelerator)."""
+        manager.on_tx(self._on_accelerator_tx)
+        self._managers.append(manager)
+        return manager
+
+    def bind(self, port, mqueues, policy=None):
+        """Listen on *port* and dispatch its requests to *mqueues*."""
+        binding = self._ports.get(port)
+        if binding is None:
+            binding = _PortBinding(self.env, port, policy or RoundRobin())
+            self._ports[port] = binding
+            self.stack.listen(port)
+        elif policy is not None:
+            binding.policy = policy
+        for mq in mqueues:
+            if mq.kind != SERVER:
+                raise ConfigError("only server mqueues can be bound to a port")
+            if mq.bound_port is not None and mq.bound_port != port:
+                # Multi-tenant state protection (§4.5): an mqueue belongs
+                # to exactly one service.
+                raise ConfigError(
+                    "mqueue %s is already bound to port %d" % (mq.name,
+                                                               mq.bound_port))
+            mq.bound_port = port
+            binding.mqueues.append(mq)
+        return binding
+
+    def register_client_mqueue(self, mq):
+        """Give a client mqueue its SNIC-side source port."""
+        if mq.kind != CLIENT:
+            raise ConfigError("register_client_mqueue needs a client mqueue")
+        self._next_client_port += 1
+        mq.src_port = self._next_client_port
+        self._client_mq_by_port[mq.src_port] = mq
+        return mq
+
+    def connect_client_mqueue(self, mq):
+        """Generator: establish the TCP connection of a client mqueue.
+
+        Performed once at initialization (§4.3: static connections).
+        """
+        if mq.src_port is None:
+            self.register_client_mqueue(mq)
+        if mq.proto != TCP:
+            return mq
+        src = Address(self.ip, mq.src_port)
+        conn = TcpConnection(client=src, server=mq.destination)
+        syn = Message(src=src, dst=mq.destination, payload=b"", proto=TCP,
+                      created_at=self.env.now, conn=conn, kind="tcp-syn")
+        syn.meta["conn"] = conn
+        waiter = self.env.event()
+        self._synack_waiters[conn.conn_id] = waiter
+        yield from self.nic.send(syn)
+        yield waiter
+        if not conn.established:
+            raise NetworkError("client mqueue %s failed to connect" % mq.name)
+        mq.conn = conn
+        return mq
+
+    def port_stats(self, port):
+        """Per-tenant request/response meters of one listening port."""
+        binding = self._ports.get(port)
+        if binding is None:
+            raise ConfigError("no binding on port %d" % port)
+        return binding.requests, binding.responses
+
+    def _manager_of(self, mq):
+        for manager in self._managers:
+            if mq in manager.mqueues:
+                return manager
+        raise ConfigError("mqueue %s has no manager on %s" % (mq.name, self.name))
+
+    # -- ingress ------------------------------------------------------------------
+
+    def _rx_loop(self):
+        while True:
+            msg = yield self.nic.recv()
+            yield from self._handle_rx(msg)
+
+    def _handle_rx(self, msg):
+        if msg.kind == "tcp-synack":
+            waiter = self._synack_waiters.pop(msg.conn.conn_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+            return
+        if self.stack.handle_control(msg, self.nic):
+            return
+        yield from self.stack.process_rx(msg)
+        msg.meta["t_rx_done"] = self.env.now
+        self.tracer.emit(self.name, "rx", msg.msg_id)
+        # Backend response for a client mqueue?
+        client_mq = self._client_mq_by_port.get(msg.dst.port)
+        if client_mq is not None:
+            self._pending_backend.pop(msg.meta.get("in_reply_to"), None)
+            yield from self._dispatch_to(client_mq, msg)
+            return
+        binding = self._ports.get(msg.dst.port)
+        if binding is None or not binding.mqueues:
+            self.dropped += 1
+            return
+        self.requests.tick()
+        binding.requests.tick()
+        # Lynx's own dispatcher code scales with the platform's core
+        # speed (it is ordinary software, unlike the calibrated stack).
+        yield from self.workers.run_compute(self.profile.dispatch_cost)
+        mq = binding.policy.select(binding.mqueues, msg)
+        msg.meta["t_dispatched"] = self.env.now
+        self.tracer.emit(self.name, "dispatch", mq.name)
+        yield from self._dispatch_to(mq, msg)
+
+    def _dispatch_to(self, mq, msg):
+        manager = self._manager_of(mq)
+        # CPU cost of posting the one-sided RDMA write (§5.1: <1us).
+        yield from self.workers.run_calibrated(manager.engine.profile.post_cost)
+        # Ring-full drops are counted once, by the mqueue itself;
+        # ``server.dropped`` tracks only undeliverable traffic
+        # (unknown ports, unsupported messages).
+        manager.deliver(mq, msg)
+
+    # -- egress --------------------------------------------------------------------
+
+    def _on_accelerator_tx(self, mq, entry):
+        self.env.process(self._handle_tx(mq, entry),
+                         name="%s-htx" % self.name)
+
+    def _handle_tx(self, mq, entry):
+        # Egress runs at higher core priority than ingress: the real
+        # forwarder round-robins and is never starved by a request flood.
+        yield from self.workers.run_compute(self.profile.forward_cost,
+                                             priority=-1)
+        response = self._build_response(mq, entry)
+        if response is None:
+            return
+        if entry.request_msg is not None:
+            stamps = dict(entry.request_msg.meta)
+            stamps["t_tx_ready"] = self.env.now
+            response.meta["breakdown"] = {
+                k: v for k, v in stamps.items() if k.startswith("t_")}
+        if response.proto == TCP and response.conn is not None:
+            response.meta["tcp_seq"] = response.conn.next_seq(response.src)
+        yield from self.workers.run_calibrated(self.stack.tx_cost(response),
+                                               priority=-1)
+        self.responses.tick()
+        if mq.kind == SERVER and mq.bound_port in self._ports:
+            self._ports[mq.bound_port].responses.tick()
+        self.tracer.emit(self.name, "tx", response.msg_id)
+        yield from self.nic.send(response)
+
+    def _build_response(self, mq, entry):
+        if mq.kind == SERVER:
+            # Respond to whichever client sent the request (§4.3).
+            request = entry.request_msg
+            if request is None:
+                raise NetworkError(
+                    "server mqueue %s produced an entry with no originating "
+                    "request" % mq.name)
+            return request.reply(entry.payload, created_at=self.env.now,
+                                 size=entry.size)
+        # Client mqueue: a fresh request to the static destination.
+        if mq.proto == TCP and (mq.conn is None or not mq.conn.established):
+            # §5.1: connection errors surface through the metadata's
+            # error field instead of hanging the accelerator.
+            self._deliver_error(mq, ERR_CONNECTION)
+            return None
+        msg = Message(src=Address(self.ip, mq.src_port), dst=mq.destination,
+                      payload=entry.payload, proto=mq.proto,
+                      created_at=self.env.now, size=entry.size,
+                      conn=mq.conn, kind="request")
+        if self.profile.backend_timeout > 0:
+            self._pending_backend[msg.msg_id] = mq
+            self.env.process(self._backend_watchdog(mq, msg),
+                             name="%s-watchdog" % self.name)
+        return msg
+
+    def _backend_watchdog(self, mq, msg):
+        yield self.env.timeout(self.profile.backend_timeout)
+        if self._pending_backend.pop(msg.msg_id, None) is not None:
+            self._deliver_error(mq, ERR_TIMEOUT)
+
+    def _deliver_error(self, mq, code):
+        """Place an error entry on the mqueue's RX ring (drop if full)."""
+        if mq.claim_rx_slot():
+            mq.complete_rx(MQueueEntry(payload=b"", size=0, error=code))

@@ -1,0 +1,29 @@
+"""Network substrate: messages, fabric, transport stacks, RDMA, clients."""
+
+from .packet import Address, Message, UDP, TCP, payload_size
+from .network import Network
+from .stack import NetworkStack, TcpConnection
+from .rdma import RdmaEngine, QueuePair
+from .client import Client, OpenLoopGenerator, ClosedLoopGenerator
+from .arrivals import ArrivalProcess, OnOffBurst, Poisson, TraceReplay, Uniform
+
+__all__ = [
+    "Address",
+    "Message",
+    "UDP",
+    "TCP",
+    "payload_size",
+    "Network",
+    "NetworkStack",
+    "TcpConnection",
+    "RdmaEngine",
+    "QueuePair",
+    "Client",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "ArrivalProcess",
+    "Uniform",
+    "Poisson",
+    "OnOffBurst",
+    "TraceReplay",
+]

@@ -1,0 +1,105 @@
+"""Arrival processes for load generation.
+
+sockperf-style constant pacing and Poisson arrivals cover the paper's
+methodology; bursty (Markov-modulated on/off) and trace-replay
+processes support the ablations (e.g. ring sizing under bursts) and
+downstream users with their own traces.
+"""
+
+from ..errors import ConfigError
+
+
+class ArrivalProcess:
+    """Yields successive inter-arrival gaps (us)."""
+
+    def next_gap(self):
+        raise NotImplementedError
+
+
+class Uniform(ArrivalProcess):
+    """Constant pacing at a fixed rate (sockperf's default)."""
+
+    def __init__(self, rate_per_us):
+        if rate_per_us <= 0:
+            raise ConfigError("rate must be positive")
+        self._gap = 1.0 / rate_per_us
+
+    def next_gap(self):
+        """Constant gap."""
+        return self._gap
+
+
+class Poisson(ArrivalProcess):
+    """Memoryless arrivals at a mean rate."""
+
+    def __init__(self, rate_per_us, rng, stream="poisson-arrivals"):
+        if rate_per_us <= 0:
+            raise ConfigError("rate must be positive")
+        self._mean = 1.0 / rate_per_us
+        self._rng = rng
+        self._stream = stream
+
+    def next_gap(self):
+        """Exponential gap with the configured mean."""
+        return self._rng.exponential(self._stream, self._mean)
+
+
+class OnOffBurst(ArrivalProcess):
+    """Markov-modulated on/off bursts.
+
+    During an ON period arrivals come at ``burst_rate``; OFF periods are
+    silent.  Mean period lengths are exponential.  The long-run average
+    rate is ``burst_rate * on_mean / (on_mean + off_mean)``.
+    """
+
+    def __init__(self, burst_rate_per_us, on_mean_us, off_mean_us, rng,
+                 stream="onoff-arrivals"):
+        if burst_rate_per_us <= 0 or on_mean_us <= 0 or off_mean_us < 0:
+            raise ConfigError("invalid on/off burst parameters")
+        self.burst_rate = burst_rate_per_us
+        self.on_mean = on_mean_us
+        self.off_mean = off_mean_us
+        self._rng = rng
+        self._stream = stream
+        self._remaining_on = 0.0
+
+    @property
+    def mean_rate(self):
+        return (self.burst_rate * self.on_mean
+                / (self.on_mean + self.off_mean))
+
+    def next_gap(self):
+        """Burst-rate gap, stretched by OFF periods at period ends."""
+        gap = self._rng.exponential(self._stream, 1.0 / self.burst_rate)
+        if self._remaining_on >= gap:
+            self._remaining_on -= gap
+            return gap
+        # the ON period ends: insert an OFF gap and start a new period
+        off = self._rng.exponential(self._stream + ".off", self.off_mean)
+        leftover = gap - self._remaining_on
+        self._remaining_on = self._rng.exponential(
+            self._stream + ".on", self.on_mean)
+        return leftover + off
+
+    def __repr__(self):
+        return "<OnOffBurst %.3f/us on=%.0fus off=%.0fus (mean %.3f/us)>" % (
+            self.burst_rate, self.on_mean, self.off_mean, self.mean_rate)
+
+
+class TraceReplay(ArrivalProcess):
+    """Replays recorded arrival timestamps (us, ascending), looping."""
+
+    def __init__(self, timestamps):
+        stamps = list(timestamps)
+        if len(stamps) < 2:
+            raise ConfigError("a trace needs at least two timestamps")
+        if any(b < a for a, b in zip(stamps, stamps[1:])):
+            raise ConfigError("trace timestamps must be non-decreasing")
+        self._gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        self._index = 0
+
+    def next_gap(self):
+        """Next recorded gap, looping over the trace."""
+        gap = self._gaps[self._index]
+        self._index = (self._index + 1) % len(self._gaps)
+        return gap

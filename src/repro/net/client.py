@@ -1,0 +1,216 @@
+"""Load-generating clients (the role sockperf plays in the paper).
+
+Clients are deliberately lightweight: the paper's client machines are
+never the bottleneck, so we charge only a small fixed send cost and the
+port serialization time.  Two drive modes match the paper's
+methodology:
+
+* :class:`OpenLoopGenerator` — Poisson arrivals at a target rate
+  (latency-under-load measurements).
+* :class:`ClosedLoopGenerator` — N outstanding requests, new request on
+  each response (saturation throughput measurements).
+"""
+
+from .. import units
+from ..errors import NetworkError
+from ..sim import LatencyRecorder, RateMeter, Store
+from .packet import Message, TCP, UDP
+from .stack import TcpConnection
+
+
+class Client:
+    """One client host attached to the network."""
+
+    def __init__(self, env, network, ip, link_rate=units.gbps(40),
+                 send_cost=2.0, recv_cost=2.0, name=None, rng=None):
+        self.env = env
+        self.network = network
+        self.ip = ip
+        self.link_rate = link_rate
+        # sockperf-with-VMA userspace costs per message.  recv_cost is
+        # *accounted* into recorded latency but not simulated as a
+        # serialization point, so a single client can sink high response
+        # rates (the paper uses two client machines).
+        self.send_cost = send_cost
+        self.recv_cost = recv_cost
+        self.name = name or "client-%s" % ip
+        self.rng = rng
+        self.rx = Store(env, name="%s-rx" % self.name)
+        self.latency = LatencyRecorder(env, name="%s-latency" % self.name)
+        self.responses = RateMeter(env, name="%s-rate" % self.name)
+        self.sent = RateMeter(env, name="%s-sent" % self.name)
+        self._waiters = {}
+        self._next_port = 40000
+        network.attach(ip, self)
+        env.process(self._rx_loop(), name="%s-rx-loop" % self.name)
+
+    # -- raw I/O ---------------------------------------------------------------
+
+    def _source_address(self):
+        from .packet import Address
+
+        self._next_port += 1
+        if self._next_port > 65000:
+            self._next_port = 40001
+        return Address(self.ip, self._next_port)
+
+    def send(self, msg):
+        """Generator: serialize *msg* onto the wire."""
+        if msg.conn is not None and not msg.kind.startswith("tcp-"):
+            msg.meta["tcp_seq"] = msg.conn.next_seq(msg.src)
+        yield self.env.timeout(self.send_cost + msg.wire_size / self.link_rate)
+        self.sent.tick()
+        self.network.deliver(msg)
+
+    def _rx_loop(self):
+        while True:
+            msg = yield self.rx.get()
+            created = msg.meta.get("request_created_at")
+            if created is not None and msg.kind == "response":
+                self.latency.record(self.env.now - created + self.recv_cost)
+                self.responses.tick()
+            waiter = self._waiters.pop(msg.meta.get("in_reply_to"), None)
+            if waiter is None and msg.kind == "tcp-synack":
+                waiter = self._waiters.pop(("synack", msg.conn.conn_id), None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+
+    # -- request/response ---------------------------------------------------
+
+    def connect(self, dst):
+        """Generator: establish a TCP connection to *dst*; returns it."""
+        src = self._source_address()
+        conn = TcpConnection(client=src, server=dst)
+        syn = Message(src=src, dst=dst, payload=b"", proto=TCP,
+                      created_at=self.env.now, conn=conn, kind="tcp-syn")
+        syn.meta["conn"] = conn
+        waiter = self.env.event()
+        self._waiters[("synack", conn.conn_id)] = waiter
+        yield from self.send(syn)
+        yield waiter
+        if not conn.established:
+            raise NetworkError("TCP handshake failed to %s" % (dst,))
+        return conn
+
+    def request(self, payload, dst, proto=UDP, conn=None, timeout=None):
+        """Generator: send one request and wait for its response.
+
+        Returns the response message, or None on timeout (UDP requests
+        may be dropped by a saturated server).
+        """
+        src = conn.client if conn is not None else self._source_address()
+        msg = Message(src=src, dst=dst, payload=payload, proto=proto,
+                      created_at=self.env.now, conn=conn)
+        waiter = self.env.event()
+        self._waiters[msg.msg_id] = waiter
+        yield from self.send(msg)
+        if timeout is None:
+            response = yield waiter
+            return response
+        expiry = self.env.timeout(timeout)
+        result = yield self.env.any_of([waiter, expiry])
+        if waiter in result:
+            return result[waiter]
+        self._waiters.pop(msg.msg_id, None)
+        return None
+
+
+class OpenLoopGenerator:
+    """Poisson (or uniform) arrivals at a fixed offered rate."""
+
+    def __init__(self, env, client, dst, rate_per_us=None, payload_fn=None,
+                 proto=UDP, conn=None, poisson=True, arrivals=None,
+                 name=None):
+        if arrivals is None and (rate_per_us is None or rate_per_us <= 0):
+            raise NetworkError("open-loop rate must be positive")
+        if payload_fn is None:
+            raise NetworkError("open-loop generator needs a payload_fn")
+        self.env = env
+        self.client = client
+        self.dst = dst
+        self.rate = rate_per_us
+        self.payload_fn = payload_fn
+        self.proto = proto
+        self.conn = conn
+        self.poisson = poisson
+        #: optional ArrivalProcess overriding rate/poisson pacing
+        self.arrivals = arrivals
+        self.name = name or "openloop->%s" % (dst,)
+        self._stopped = False
+        self.offered = 0
+        self.process = env.process(self._run(), name=self.name)
+
+    def stop(self):
+        self._stopped = True
+
+    def _interarrival(self):
+        if self.arrivals is not None:
+            return self.arrivals.next_gap()
+        mean = 1.0 / self.rate
+        if self.poisson and self.client.rng is not None:
+            return self.client.rng.exponential(self.name, mean)
+        return mean
+
+    def _run(self):
+        env = self.env
+        while not self._stopped:
+            yield env.timeout(self._interarrival())
+            if self._stopped:
+                return
+            payload = self.payload_fn(self.offered)
+            src = (self.conn.client if self.conn is not None
+                   else self.client._source_address())
+            msg = Message(src=src, dst=self.dst, payload=payload,
+                          proto=self.proto, created_at=env.now, conn=self.conn)
+            self.offered += 1
+            # Fire and forget: the arrival process must not be throttled
+            # by per-message send cost, or high offered rates would be
+            # silently capped below the target.
+            env.process(self.client.send(msg), name="%s-tx" % self.name)
+
+
+class ClosedLoopGenerator:
+    """N workers, each with one outstanding request at a time."""
+
+    def __init__(self, env, client, dst, concurrency, payload_fn, proto=UDP,
+                 timeout=None, think_time=0.0, use_tcp_connections=False,
+                 name=None):
+        self.env = env
+        self.client = client
+        self.dst = dst
+        self.concurrency = concurrency
+        self.payload_fn = payload_fn
+        self.proto = proto
+        self.timeout = timeout
+        self.think_time = think_time
+        self.use_tcp_connections = use_tcp_connections or proto == TCP
+        self.name = name or "closedloop->%s" % (dst,)
+        self._stopped = False
+        self.completed = 0
+        self.timeouts = 0
+        self.processes = [
+            env.process(self._worker(i), name="%s-w%d" % (self.name, i))
+            for i in range(concurrency)
+        ]
+
+    def stop(self):
+        self._stopped = True
+
+    def _worker(self, index):
+        env = self.env
+        conn = None
+        if self.use_tcp_connections:
+            conn = yield from self.client.connect(self.dst)
+        seq = 0
+        while not self._stopped:
+            payload = self.payload_fn(index * 1000000 + seq)
+            seq += 1
+            response = yield from self.client.request(
+                payload, self.dst, proto=self.proto, conn=conn,
+                timeout=self.timeout)
+            if response is None:
+                self.timeouts += 1
+            else:
+                self.completed += 1
+            if self.think_time > 0:
+                yield env.timeout(self.think_time)

@@ -1,0 +1,58 @@
+"""The physical network: endpoints, wire, and a ToR switch.
+
+The paper's testbed is a handful of machines behind one Mellanox SN2100
+cut-through switch.  Model: every NIC port attaches with an IP; a frame
+costs its serialization time on the sender port (charged by the NIC),
+then wire + switch-forwarding latency before landing in the receiver
+port's RX queue.
+"""
+
+from ..errors import NetworkError
+from ..sim import Counter
+
+
+class Network:
+    """A single-switch Ethernet/InfiniBand fabric."""
+
+    def __init__(self, env, wire_latency=0.3, switch_latency=0.3):
+        self.env = env
+        self.wire_latency = wire_latency
+        self.switch_latency = switch_latency
+        self._endpoints = {}
+        self.counters = Counter()
+
+    def attach(self, ip, endpoint):
+        """Register *endpoint* (anything with an ``rx`` store) under *ip*."""
+        if ip in self._endpoints:
+            raise NetworkError("IP %s already attached" % ip)
+        self._endpoints[ip] = endpoint
+
+    def endpoint(self, ip):
+        try:
+            return self._endpoints[ip]
+        except KeyError:
+            raise NetworkError("no endpoint with IP %s" % ip)
+
+    @property
+    def one_way_latency(self):
+        """Port-to-port latency through the switch, excluding serialization."""
+        return 2 * self.wire_latency + self.switch_latency
+
+    def deliver(self, msg):
+        """Fire-and-forget delivery of *msg* to its destination port."""
+        self.env.process(self._deliver(msg), name="net-deliver")
+
+    def _deliver(self, msg):
+        try:
+            endpoint = self.endpoint(msg.dst.ip)
+        except NetworkError:
+            self.counters.inc("dropped_no_route")
+            return
+        yield self.env.timeout(self.one_way_latency)
+        # Drop-tail at the receiver's RX ring: a finite NIC ring is what
+        # keeps an overloaded server stable instead of building an
+        # unbounded backlog.
+        if endpoint.rx.try_put(msg):
+            self.counters.inc("delivered")
+        else:
+            self.counters.inc("dropped_rx_ring")

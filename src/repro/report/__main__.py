@@ -1,0 +1,20 @@
+"""Print the reproduction scorecard from benchmark artifacts.
+
+    python -m repro.report [results_dir]
+"""
+
+import os
+import sys
+
+from .scorecard import render_scorecard, score_results_dir
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = argv[0] if argv else os.path.join("benchmarks", "results")
+    print(render_scorecard(score_results_dir(results_dir)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

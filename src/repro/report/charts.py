@@ -1,0 +1,115 @@
+"""Terminal chart rendering (no plotting dependencies).
+
+Renders the paper's figure types as ASCII art so
+``examples/generate_figures.py`` can reproduce Figures 5-9 visually
+from experiment results:
+
+* :func:`line_chart` — series over a numeric x-axis (Fig 8b/8c);
+* :func:`bar_chart` — grouped horizontal bars (Fig 5/6/9);
+* :func:`cdf_chart` — latency CDFs (Fig 8a).
+"""
+
+import math
+
+from ..errors import ConfigError
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _fmt(value):
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if abs(value) >= 1000:
+        return "%.0f" % value
+    if abs(value) >= 10:
+        return "%.1f" % value
+    return "%.2f" % value
+
+
+def bar_chart(rows, width=46, title=None, unit=""):
+    """Horizontal bars: rows are (label, value) pairs."""
+    if not rows:
+        raise ConfigError("bar chart needs at least one row")
+    peak = max(value for _, value in rows if value is not None) or 1.0
+    label_w = max(len(str(label)) for label, _ in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in rows:
+        if value is None:
+            lines.append("%s  %s" % (str(label).ljust(label_w), "-"))
+            continue
+        filled = value / peak * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        lines.append("%s  %s %s%s" % (str(label).ljust(label_w), bar,
+                                      _fmt(value), unit))
+    return "\n".join(lines)
+
+
+def line_chart(series, width=60, height=16, title=None, x_label="",
+               y_label=""):
+    """Multi-series scatter/line plot.
+
+    *series* is ``{name: [(x, y), ...]}``; each series gets a marker.
+    """
+    if not series:
+        raise ConfigError("line chart needs at least one series")
+    markers = "ox+*#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigError("line chart needs data points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo or 1.0) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * (y_hi - y_lo) / (height - 1)
+        prefix = ("%8s |" % _fmt(y_val)) if i % 3 == 0 else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append("          %s%s%s" % (_fmt(x_lo),
+                                       x_label.center(width - 12),
+                                       _fmt(x_hi)))
+    legend = "   ".join("%s %s" % (markers[i % len(markers)], name)
+                        for i, name in enumerate(series))
+    lines.append("          " + legend)
+    if y_label:
+        lines.append("          (y: %s)" % y_label)
+    return "\n".join(lines)
+
+
+def cdf_chart(samples_by_series, width=60, height=14, title=None,
+              x_label="latency (us)"):
+    """Empirical CDFs of one or more sample sets (Fig 8a style)."""
+    import numpy as np
+
+    series = {}
+    x_hi = 0.0
+    for name, samples in samples_by_series.items():
+        arr = np.sort(np.asarray(list(samples), dtype=float))
+        if arr.size == 0:
+            raise ConfigError("empty sample set %r" % name)
+        x_hi = max(x_hi, float(np.percentile(arr, 99.5)))
+        series[name] = arr
+    pts = {}
+    for name, arr in series.items():
+        qs = np.linspace(0.0, 1.0, width)
+        xs = np.quantile(arr, qs)
+        pts[name] = [(float(x), float(q)) for x, q in zip(xs, qs)
+                     if x <= x_hi]
+    chart = {name: p for name, p in pts.items()}
+    return line_chart(chart, width=width, height=height, title=title,
+                      x_label=x_label, y_label="fraction of requests")

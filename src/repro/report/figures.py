@@ -1,0 +1,117 @@
+"""Render the paper's figures from experiment results (ASCII).
+
+Each function runs the corresponding experiment (fast mode by default)
+and returns a printable figure, so the evaluation can be *seen*, not
+just tabulated::
+
+    python examples/generate_figures.py
+"""
+
+from ..experiments import (
+    e03_fig5_transfer_mechanisms,
+    e04_fig6_throughput_grid,
+    e05_fig7_latency,
+    e09_fig8a_lenet,
+    e10_fig8b_scaleout,
+    e11_fig8c_projection,
+    e12_fig9_memcached,
+)
+from .charts import bar_chart, cdf_chart, line_chart
+
+
+def figure5(fast=True, seed=42):
+    """mqueue access mechanisms: speedup vs payload size."""
+    result = e03_fig5_transfer_mechanisms.run(fast=fast, seed=seed)
+    series = {
+        "cuda+gdr": [(r["payload"], r["cuda_gdr"]) for r in result.rows],
+        "rdma+gdr": [(r["payload"], r["rdma_gdr"]) for r in result.rows],
+        "rdma+rdma": [(r["payload"], r["rdma_rdma"]) for r in result.rows],
+    }
+    return line_chart(series, title="Figure 5 — speedup over "
+                      "cudaMemcpyAsync/cudaMemcpyAsync",
+                      x_label="payload (bytes)", y_label="speedup")
+
+
+def figure6(fast=True, seed=42):
+    """Relative throughput of the four designs (bars per config)."""
+    result = e04_fig6_throughput_grid.run(fast=fast, seed=seed)
+    blocks = []
+    for row in result.rows:
+        rows = [
+            ("host-centric", row["host_centric"]),
+            ("lynx xeon x1", row["lynx_xeon1"]),
+            ("lynx xeon x6", row["lynx_xeon6"]),
+            ("lynx bluefield", row["lynx_bluefield"]),
+        ]
+        blocks.append(bar_chart(
+            rows, title="Figure 6 — %.0fus kernels, %d mqueue(s) "
+            "(x over host-centric)" % (row["exec_us"], row["mqueues"]),
+            unit="x"))
+    return "\n\n".join(blocks)
+
+
+def figure7(fast=True, seed=42):
+    """Bluefield latency slowdown vs request runtime."""
+    result = e05_fig7_latency.run(fast=fast, seed=seed)
+    series = {}
+    for row in result.rows:
+        series.setdefault("%d mqueues" % row["mqueues"], []).append(
+            (row["runtime_us"], row["slowdown"]))
+    return line_chart(series, title="Figure 7 — Bluefield/6-Xeon p50 "
+                      "latency ratio", x_label="request runtime (us)",
+                      y_label="slowdown")
+
+
+def figure8a(fast=True, seed=42):
+    """LeNet latency CDFs at maximum throughput."""
+    from ..net.packet import UDP
+
+    samples = {}
+    for design in ("host-centric", "lynx-xeon-1core", "lynx-bluefield"):
+        tput, _ = e09_fig8a_lenet.measure(design, UDP, seed=seed,
+                                          measure_us=100000.0)
+        latency = e09_fig8a_lenet.measure_latency_at_load(
+            design, UDP, 0.95 * tput, seed=seed, measure_us=100000.0)
+        samples[design] = latency.samples
+    return cdf_chart(samples, title="Figure 8a — LeNet latency CDF at "
+                     "max throughput")
+
+
+def figure8b(fast=True, seed=42):
+    """Remote-GPU scale-out bars."""
+    result = e10_fig8b_scaleout.run(fast=fast, seed=seed)
+    rows = [(r["config"], r["krps"]) for r in result.rows]
+    return bar_chart(rows, title="Figure 8b — LeNet scale-out (Kreq/s)",
+                     unit=" Kreq/s")
+
+
+def figure8c(fast=True, seed=42):
+    """Scalability projection curves."""
+    result = e11_fig8c_projection.run(fast=fast, seed=seed)
+    series = {}
+    for row in result.rows:
+        if row["gpus"] == "knee":
+            continue
+        key = "%s %s" % (row["proto"].upper(), row["platform"])
+        series.setdefault(key, []).append((row["gpus"], row["krps"]))
+    return line_chart(series, title="Figure 8c — throughput vs emulated "
+                      "GPUs", x_label="GPUs", y_label="Kreq/s")
+
+
+def figure9(fast=True, seed=42):
+    """memcached placement bars."""
+    result = e12_fig9_memcached.run(fast=fast, seed=seed)
+    rows = [(r["config"], r["memcached_ktps"]) for r in result.rows]
+    return bar_chart(rows, title="Figure 9 — usable memcached throughput "
+                     "(Ktps)", unit=" Ktps")
+
+
+ALL_FIGURES = {
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8a": figure8a,
+    "fig8b": figure8b,
+    "fig8c": figure8c,
+    "fig9": figure9,
+}

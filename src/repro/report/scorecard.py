@@ -1,0 +1,114 @@
+"""The reproduction scorecard: grade measured results against the paper.
+
+Reads the JSON artifacts the benchmarks write under
+``benchmarks/results/`` and grades every row that carries a paper
+reference column (``paper_*``) by relative deviation:
+
+    MATCH  within 25%
+    NEAR   within 60%
+    DEVIATES  beyond that (these should all be in EXPERIMENTS.md's
+              deviation list)
+
+Run it after a benchmark pass::
+
+    python -m repro.report [results_dir]
+"""
+
+import json
+import math
+import os
+
+from ..errors import ConfigError
+
+MATCH_REL = 0.25
+NEAR_REL = 0.60
+
+#: row columns compared against their paper_* counterpart
+_PAIRS = (
+    ("krps", "paper_krps"),
+    ("p90_us", "paper_p90_us"),
+    ("mpps", "paper_mpps"),
+    ("speedup", "paper_speedup"),
+    ("knee_estimate", "paper_knee"),
+    ("e2e_us", "paper_e2e_us"),
+    ("overhead_us", "paper_overhead_us"),
+    ("p90_us", "paper_p90_us"),
+    ("snic_span_total", "paper_span"),
+    ("extra_us", "paper_extra_us"),
+    ("memcached_ktps", "paper_ktps"),
+    ("stack_cost_ratio", "paper_processing_ratio"),
+)
+
+
+def grade(measured, paper):
+    """Grade one measured/paper pair."""
+    if paper in (None, 0):
+        return None
+    try:
+        rel = abs(float(measured) - float(paper)) / abs(float(paper))
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(rel):
+        return None
+    if rel <= MATCH_REL:
+        return "MATCH"
+    if rel <= NEAR_REL:
+        return "NEAR"
+    return "DEVIATES"
+
+
+def score_rows(rows):
+    """Grade every (measured, paper) pair found in *rows*."""
+    findings = []
+    for index, row in enumerate(rows):
+        for measured_key, paper_key in _PAIRS:
+            if paper_key not in row or measured_key not in row:
+                continue
+            verdict = grade(row.get(measured_key), row.get(paper_key))
+            if verdict is None:
+                continue
+            findings.append({
+                "row": index,
+                "metric": measured_key,
+                "measured": row[measured_key],
+                "paper": row[paper_key],
+                "verdict": verdict,
+            })
+    return findings
+
+
+def score_results_dir(results_dir):
+    """Score every EXX.json artifact; returns {exp_id: findings}."""
+    if not os.path.isdir(results_dir):
+        raise ConfigError("no results directory at %r — run "
+                          "`pytest benchmarks/ --benchmark-only` first"
+                          % results_dir)
+    scores = {}
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(results_dir, name)) as fh:
+            blob = json.load(fh)
+        findings = score_rows(blob.get("rows", []))
+        if findings:
+            scores[blob.get("exp_id", name)] = findings
+    return scores
+
+
+def render_scorecard(scores):
+    """Printable scorecard with per-experiment and overall tallies."""
+    lines = ["reproduction scorecard", "=" * 60]
+    tally = {"MATCH": 0, "NEAR": 0, "DEVIATES": 0}
+    for exp_id in sorted(scores):
+        for f in scores[exp_id]:
+            tally[f["verdict"]] += 1
+            lines.append("%-4s %-18s measured %-10s paper %-10s %s"
+                         % (exp_id, f["metric"], f["measured"], f["paper"],
+                            f["verdict"]))
+    total = sum(tally.values()) or 1
+    lines.append("-" * 60)
+    lines.append("MATCH %d (%.0f%%)   NEAR %d   DEVIATES %d   of %d "
+                 "paper-anchored values"
+                 % (tally["MATCH"], 100 * tally["MATCH"] / total,
+                    tally["NEAR"], tally["DEVIATES"], total))
+    return "\n".join(lines)

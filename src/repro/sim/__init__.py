@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel (microsecond-resolution).
+
+Public surface::
+
+    env = Environment()
+    def proc(env):
+        yield env.timeout(5.0)
+        return 42
+    p = env.process(proc(env))
+    env.run()
+
+"""
+
+from .environment import Environment
+from .events import (
+    Event,
+    Timeout,
+    Process,
+    Interrupt,
+    Condition,
+    all_of,
+    any_of,
+    URGENT,
+    NORMAL,
+)
+from .resources import Resource, Request
+from .store import Store, PriorityStore
+from .rng import RngRegistry
+from .stats import LatencyRecorder, RateMeter, TimeWeightedGauge, Counter
+from .trace import Tracer, NullTracer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "all_of",
+    "any_of",
+    "URGENT",
+    "NORMAL",
+    "Resource",
+    "Request",
+    "Store",
+    "PriorityStore",
+    "RngRegistry",
+    "LatencyRecorder",
+    "RateMeter",
+    "TimeWeightedGauge",
+    "Counter",
+    "Tracer",
+    "NullTracer",
+]

@@ -1,0 +1,121 @@
+"""The simulation environment: clock, schedule, and run loop."""
+
+import heapq
+from itertools import count
+
+from ..errors import SimulationError
+from .events import Event, Timeout, Process, NORMAL, any_of, all_of
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue ran dry."""
+
+
+class Environment:
+    """Execution environment for a single simulation.
+
+    Holds the simulated clock (``now``, in microseconds) and the pending
+    event schedule.  All model objects keep a reference to their
+    environment and create events through it.
+    """
+
+    def __init__(self, initial_time=0.0):
+        self.now = float(initial_time)
+        self._queue = []
+        self._eid = count()
+        self._active_process = None
+
+    # -- event construction ------------------------------------------------
+
+    def event(self):
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires *delay* microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start *generator* as a new :class:`Process`."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        return any_of(self, events)
+
+    def all_of(self, events):
+        return all_of(self, events)
+
+    @property
+    def active_process(self):
+        """The process currently being resumed (or None)."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        """Place *event* on the schedule *delay* microseconds from now."""
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, next(self._eid), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self):
+        """Process the next scheduled event."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule()
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure terminates the simulation loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        *until* may be ``None`` (run until the schedule drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        stop_event = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                horizon = float(until)
+                if horizon < self.now:
+                    raise SimulationError(
+                        "cannot run until %s: already at %s" % (horizon, self.now))
+                stop_event = self.event()
+                stop_event._ok = True
+                stop_event._value = None
+                # URGENT so the clock stops before same-time model events run.
+                self.schedule(stop_event, delay=horizon - self.now, priority=0)
+            stop_event.callbacks.append(_StopSimulation.throw_in)
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "run() condition %r never fired; schedule is empty" % stop_event)
+            return None
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception ending :meth:`Environment.run`."""
+
+    @classmethod
+    def throw_in(cls, event):
+        if not event._ok:
+            event._defused = True
+            raise event._value
+        raise cls(event._value)

@@ -1,0 +1,120 @@
+"""Counted resources with FIFO (or priority) waiter queues.
+
+A :class:`Resource` models anything with limited concurrent capacity: a
+CPU core pool, a DMA engine, a PCIe direction.  Processes acquire a slot
+with ``yield resource.request()`` and must release it afterwards; the
+request object doubles as a context manager::
+
+    with resource.request() as req:
+        yield req
+        yield env.timeout(cost)
+
+"""
+
+import heapq
+from itertools import count
+
+from ..errors import SimulationError
+from .events import Event
+from .stats import TimeWeightedGauge
+
+
+class Request(Event):
+    """A pending (or granted) claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_released")
+
+    def __init__(self, resource, priority=0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._released = False
+        resource._do_request(self)
+
+    def release(self):
+        """Return the slot to the resource (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.resource._do_release(self)
+
+    def cancel(self):
+        """Withdraw an ungranted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.release()
+        return False
+
+
+class Resource:
+    """A pool of *capacity* identical slots with a FIFO waiter queue."""
+
+    def __init__(self, env, capacity=1, name=None):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._users = set()
+        self._waiters = []
+        self._order = count()
+        self.utilization = TimeWeightedGauge(env)
+        self.queue_depth = TimeWeightedGauge(env)
+
+    @property
+    def in_use(self):
+        return len(self._users)
+
+    @property
+    def waiting(self):
+        return len(self._waiters)
+
+    def request(self, priority=0):
+        """Create a claim; the returned event fires when a slot is granted."""
+        return Request(self, priority)
+
+    def _do_request(self, req):
+        if len(self._users) < self.capacity and not self._waiters:
+            self._grant(req)
+        else:
+            heapq.heappush(self._waiters, (req.priority, next(self._order), req))
+            self.queue_depth.set(len(self._waiters))
+
+    def _grant(self, req):
+        self._users.add(req)
+        self.utilization.set(len(self._users) / self.capacity)
+        req.succeed(req)
+
+    def _do_release(self, req):
+        self._users.discard(req)
+        while self._waiters and len(self._users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._waiters)
+            if nxt.triggered:  # cancelled entries are left triggered/failed
+                continue
+            self._grant(nxt)
+        self.queue_depth.set(len(self._waiters))
+        self.utilization.set(len(self._users) / self.capacity)
+
+    def _cancel(self, req):
+        if req in self._users or req.triggered:
+            return
+        # Lazy deletion: mark by failing silently-defused; skipped on grant.
+        self._waiters = [(p, o, r) for (p, o, r) in self._waiters if r is not req]
+        heapq.heapify(self._waiters)
+        self.queue_depth.set(len(self._waiters))
+
+    def execute(self, duration, priority=0):
+        """Convenience process: hold one slot for *duration* microseconds.
+
+        Usage: ``yield from resource.execute(cost)`` inside a process.
+        """
+        with self.request(priority=priority) as req:
+            yield req
+            yield self.env.timeout(duration)
+
+    def __repr__(self):
+        return "<Resource %s %d/%d used, %d waiting>" % (
+            self.name, self.in_use, self.capacity, self.waiting)

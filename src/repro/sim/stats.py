@@ -1,0 +1,178 @@
+"""Measurement instruments.
+
+All instruments support a *warmup* cut: samples recorded before
+``reset(at_time)`` (or before the recorder's ``start`` argument) are
+discarded, matching the paper's 2-second warmup methodology (§6).
+"""
+
+import math
+
+import numpy as np
+
+
+class LatencyRecorder:
+    """Collects individual samples and reports exact percentiles."""
+
+    def __init__(self, env, name=None):
+        self.env = env
+        self.name = name or "latency"
+        self._samples = []
+
+    def record(self, value):
+        """Append one latency sample (us)."""
+        self._samples.append(value)
+
+    def reset(self):
+        """Drop everything recorded so far (end of warmup)."""
+        self._samples = []
+
+    @property
+    def count(self):
+        """Number of samples recorded since the last reset."""
+        return len(self._samples)
+
+    @property
+    def samples(self):
+        """All samples as a float array."""
+        return np.asarray(self._samples, dtype=float)
+
+    def mean(self):
+        """Arithmetic mean of the samples."""
+        return float(np.mean(self._samples)) if self._samples else math.nan
+
+    def percentile(self, q):
+        """Exact q-th percentile (q in [0, 100])."""
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._samples, q))
+
+    def p50(self):
+        """Median latency."""
+        return self.percentile(50)
+
+    def p90(self):
+        """90th percentile latency."""
+        return self.percentile(90)
+
+    def p99(self):
+        """99th percentile latency."""
+        return self.percentile(99)
+
+    def max(self):
+        """Largest sample."""
+        return float(np.max(self._samples)) if self._samples else math.nan
+
+    def min(self):
+        """Smallest sample."""
+        return float(np.min(self._samples)) if self._samples else math.nan
+
+    def summary(self):
+        """Dict of the statistics the paper reports."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p90": self.p90(),
+            "p99": self.p99(),
+            "min": self.min(),
+            "max": self.max(),
+        }
+
+
+class RateMeter:
+    """Counts events and reports a rate over the measured interval."""
+
+    def __init__(self, env, name=None):
+        self.env = env
+        self.name = name or "rate"
+        self.count = 0
+        self._start = env.now
+
+    def tick(self, n=1):
+        """Count *n* events."""
+        self.count += n
+
+    def reset(self):
+        """Restart the measurement window at the current time."""
+        self.count = 0
+        self._start = self.env.now
+
+    @property
+    def elapsed(self):
+        """Time since the measurement window opened (us)."""
+        return self.env.now - self._start
+
+    def per_us(self):
+        """Event rate per microsecond over the window."""
+        if self.elapsed <= 0:
+            return math.nan
+        return self.count / self.elapsed
+
+    def per_sec(self):
+        """Event rate per second over the window."""
+        return self.per_us() * 1e6
+
+
+class TimeWeightedGauge:
+    """Tracks a piecewise-constant value; reports its time-weighted mean."""
+
+    def __init__(self, env, initial=0.0):
+        self.env = env
+        self._value = initial
+        self._last_change = env.now
+        self._area = 0.0
+        self._start = env.now
+        self._max = initial
+
+    @property
+    def value(self):
+        """Current gauge value."""
+        return self._value
+
+    def set(self, value):
+        """Change the gauge value at the current time."""
+        now = self.env.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        if value > self._max:
+            self._max = value
+
+    def reset(self):
+        """Restart time-weighted accounting at the current value."""
+        self._area = 0.0
+        self._start = self.env.now
+        self._last_change = self.env.now
+        self._max = self._value
+
+    def mean(self):
+        """Time-weighted mean since the last reset."""
+        now = self.env.now
+        total = now - self._start
+        if total <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / total
+
+    def max(self):
+        """Largest value seen since the last reset."""
+        return self._max
+
+
+class Counter:
+    """A labelled monotonic counter bundle (e.g. per-message-type)."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def inc(self, label, n=1):
+        """Increment *label* by *n*."""
+        self._counts[label] = self._counts.get(label, 0) + n
+
+    def get(self, label):
+        """Current count for *label* (0 if never incremented)."""
+        return self._counts.get(label, 0)
+
+    def as_dict(self):
+        """Snapshot of all labelled counts."""
+        return dict(self._counts)

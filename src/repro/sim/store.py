@@ -1,0 +1,143 @@
+"""Producer/consumer channels.
+
+:class:`Store` is an (optionally bounded) FIFO of arbitrary items with
+event-returning ``put``/``get``; :class:`PriorityStore` pops the smallest
+item first.  These are the building blocks for NIC queues, dispatch
+queues and mailbox-style notification between model components.
+"""
+
+import heapq
+from collections import deque
+from itertools import count
+
+from ..errors import SimulationError
+from .events import Event
+from .stats import TimeWeightedGauge
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store, item):
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store):
+        super().__init__(store.env)
+        store._do_get(self)
+
+
+class Store:
+    """Unbounded-or-bounded FIFO channel of items."""
+
+    def __init__(self, env, capacity=float("inf"), name=None):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()
+        self.depth = TimeWeightedGauge(env)
+        self.total_put = 0
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def items(self):
+        """Read-only snapshot of queued items (for tests/inspection)."""
+        return tuple(self._items)
+
+    def put(self, item):
+        """Enqueue *item*; the event fires once it is accepted."""
+        return StorePut(self, item)
+
+    def get(self):
+        """Dequeue one item; the event fires with the item as value."""
+        return StoreGet(self)
+
+    def try_put(self, item):
+        """Non-blocking put: True if accepted, False if the store is full.
+
+        Used for drop-tail queues (NIC RX rings): the caller counts the
+        drop instead of blocking.
+        """
+        if self._getters or len(self._items) < self.capacity:
+            StorePut(self, item)
+            return True
+        return False
+
+    def try_get(self):
+        """Non-blocking pop: return an item or None."""
+        if self._items:
+            item = self._pop_item()
+            self._wake_putter()
+            self.depth.set(len(self._items))
+            return item
+        return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _push_item(self, item):
+        self._items.append(item)
+
+    def _pop_item(self):
+        return self._items.popleft()
+
+    def _do_put(self, event):
+        if self._getters:
+            getter = self._getters.popleft()
+            self.total_put += 1
+            getter.succeed(event.item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._push_item(event.item)
+            self.total_put += 1
+            event.succeed()
+        else:
+            self._putters.append(event)
+        self.depth.set(len(self._items))
+
+    def _do_get(self, event):
+        if self._items:
+            event.succeed(self._pop_item())
+            self._wake_putter()
+        else:
+            self._getters.append(event)
+        self.depth.set(len(self._items))
+
+    def _wake_putter(self):
+        if self._putters and len(self._items) < self.capacity:
+            put = self._putters.popleft()
+            self._push_item(put.item)
+            self.total_put += 1
+            put.succeed()
+
+    def __repr__(self):
+        return "<%s %s depth=%d>" % (type(self).__name__, self.name, len(self._items))
+
+
+class PriorityStore(Store):
+    """A store that yields the smallest item first (heap order)."""
+
+    def __init__(self, env, capacity=float("inf"), name=None):
+        super().__init__(env, capacity, name)
+        self._items = []
+        self._seq = count()
+
+    @property
+    def items(self):
+        return tuple(item for _, _, item in sorted(self._items))
+
+    def _push_item(self, item):
+        heapq.heappush(self._items, (item, next(self._seq), item))
+
+    def _pop_item(self):
+        return heapq.heappop(self._items)[2]

@@ -1,0 +1,51 @@
+"""Lightweight event tracing for debugging and latency breakdowns.
+
+Tracing is off by default (zero overhead beyond a truthiness check).
+When enabled, components emit ``(time, component, event, detail)`` rows
+which tests and the examples can assert on or pretty-print.
+"""
+
+
+class Tracer:
+    """Collects trace records; disabled unless ``enabled`` is True."""
+
+    def __init__(self, env, enabled=False, limit=100000):
+        self.env = env
+        self.enabled = enabled
+        self.limit = limit
+        self.records = []
+
+    def emit(self, component, event, detail=None):
+        if not self.enabled or len(self.records) >= self.limit:
+            return
+        self.records.append((self.env.now, component, event, detail))
+
+    def filter(self, component=None, event=None):
+        """Return records matching the given component/event names."""
+        out = []
+        for rec in self.records:
+            if component is not None and rec[1] != component:
+                continue
+            if event is not None and rec[2] != event:
+                continue
+            out.append(rec)
+        return out
+
+    def format(self, max_rows=50):
+        lines = []
+        for when, component, event, detail in self.records[:max_rows]:
+            lines.append("%12.3fus %-20s %-24s %s" % (
+                when, component, event, "" if detail is None else detail))
+        return "\n".join(lines)
+
+
+class NullTracer:
+    """A tracer that drops everything (default wiring)."""
+
+    enabled = False
+
+    def emit(self, component, event, detail=None):
+        pass
+
+    def filter(self, component=None, event=None):
+        return []

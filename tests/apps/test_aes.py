@@ -1,0 +1,67 @@
+"""AES-128 correctness (FIPS-197 vectors + properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.crypto.aes import AES128, BLOCK_SIZE, expand_key
+from repro.errors import ConfigError
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHER = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestFipsVectors:
+    def test_appendix_c_encrypt(self):
+        assert AES128(FIPS_KEY).encrypt_block_raw(FIPS_PLAIN) == FIPS_CIPHER
+
+    def test_appendix_c_decrypt(self):
+        assert AES128(FIPS_KEY).decrypt_block_raw(FIPS_CIPHER) == FIPS_PLAIN
+
+    def test_appendix_a_key_expansion_last_word(self):
+        round_keys = expand_key(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        # FIPS-197 A.1: w[43] = b6:63:0c:a6
+        assert bytes(round_keys[10][-4:]) == bytes.fromhex("b6630ca6")
+
+
+class TestValidation:
+    def test_key_length_checked(self):
+        with pytest.raises(ConfigError):
+            AES128(b"short")
+
+    def test_block_length_checked(self):
+        with pytest.raises(ConfigError):
+            AES128(FIPS_KEY).encrypt_block_raw(b"tiny")
+
+    def test_ciphertext_multiple_of_block(self):
+        with pytest.raises(ConfigError):
+            AES128(FIPS_KEY).decrypt(b"123")
+
+    def test_bad_padding_detected(self):
+        cipher = AES128(FIPS_KEY)
+        mangled = bytearray(cipher.encrypt(b"hello"))
+        mangled[-1] ^= 0xFF
+        with pytest.raises(ConfigError):
+            cipher.decrypt(bytes(mangled))
+
+
+class TestProperties:
+    @given(data=st.binary(min_size=0, max_size=200),
+           key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data, key):
+        cipher = AES128(key)
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    @given(data=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_ciphertext_differs_from_plaintext(self, data):
+        ct = AES128(FIPS_KEY).encrypt(data)
+        assert ct != data
+        assert len(ct) % BLOCK_SIZE == 0
+
+    @given(block=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_block_roundtrip(self, block):
+        cipher = AES128(FIPS_KEY)
+        assert cipher.decrypt_block_raw(cipher.encrypt_block_raw(block)) == block

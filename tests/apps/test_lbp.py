@@ -1,0 +1,114 @@
+"""LBP face verification algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.facever import (
+    FaceDatabase,
+    chi_square,
+    face_bytes,
+    lbp_codes,
+    lbp_histogram,
+    person_label,
+    verify,
+)
+from repro.errors import ConfigError
+
+
+class TestLbpCodes:
+    def test_flat_image_codes_are_all_ones(self):
+        # Every neighbour equals the center => every bit set (>=).
+        img = np.full((32, 32), 100, dtype=np.uint8)
+        codes = lbp_codes(img)
+        assert np.all(codes == 0xFF)
+
+    def test_shape(self):
+        codes = lbp_codes(np.zeros((32, 32), dtype=np.uint8))
+        assert codes.shape == (30, 30)
+
+    def test_known_pattern(self):
+        # Bright top-left neighbour only.
+        img = np.zeros((32, 32), dtype=np.int32)
+        img[0, 0] = 255
+        img[1, 1] = 10  # center brighter than its other neighbours? no:
+        codes = lbp_codes(img)
+        # center (1,1)=10: top-left neighbour 255 >= 10 -> bit 0 set;
+        # all-zero neighbours are < 10 -> bits clear.
+        assert codes[0, 0] == 0b00000001
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ConfigError):
+            lbp_codes(np.zeros((16, 16), dtype=np.uint8))
+
+
+class TestHistogram:
+    def test_total_mass_equals_pixels(self):
+        img = face_bytes(1)
+        hist = lbp_histogram(img)
+        # 30x30 interior split into 3x3 cells of 8x8 => 9*64 pixels? no:
+        # range(0, 30 - 30%8, 8) -> 0,8,16 => 3 cells/side, 24x24 pixels.
+        assert hist.sum() == 24 * 24
+
+    def test_histogram_length(self):
+        assert len(lbp_histogram(face_bytes(1))) == 9 * 256
+
+
+class TestChiSquare:
+    def test_identity_is_zero(self):
+        h = lbp_histogram(face_bytes(2))
+        assert chi_square(h, h) == 0.0
+
+    def test_symmetry(self):
+        h1 = lbp_histogram(face_bytes(1))
+        h2 = lbp_histogram(face_bytes(2))
+        assert chi_square(h1, h2) == pytest.approx(chi_square(h2, h1))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_non_negative(self, seed):
+        rng = np.random.default_rng(seed)
+        h1 = rng.integers(0, 50, 256).astype(float)
+        h2 = rng.integers(0, 50, 256).astype(float)
+        assert chi_square(h1, h2) >= 0.0
+
+
+class TestVerification:
+    def test_same_person_verifies(self):
+        db = FaceDatabase(16)
+        for pid in range(8):
+            same, dist = verify(db.probe(pid), face_bytes(pid))
+            assert same, "pid %d distance %.1f" % (pid, dist)
+
+    def test_impostor_rejected(self):
+        db = FaceDatabase(16)
+        for pid in range(8):
+            same, dist = verify(db.impostor_probe(pid), face_bytes(pid))
+            assert not same, "pid %d distance %.1f" % (pid, dist)
+
+    def test_separation_margin(self):
+        """Same-person distances are well below different-person ones."""
+        db = FaceDatabase(16)
+        same_max = max(verify(db.probe(p), face_bytes(p))[1]
+                       for p in range(10))
+        diff_min = min(verify(db.impostor_probe(p), face_bytes(p))[1]
+                       for p in range(10))
+        assert diff_min > 1.5 * same_max
+
+
+class TestDataset:
+    def test_labels_are_12_bytes(self):
+        assert len(person_label(3)) == 12
+
+    def test_images_are_1024_bytes(self):
+        assert len(face_bytes(3)) == 1024
+
+    def test_identity_is_deterministic(self):
+        assert face_bytes(5) == face_bytes(5)
+
+    def test_variants_differ_but_identity_persists(self):
+        assert face_bytes(5, variant=1) != face_bytes(5, variant=2)
+
+    def test_preload_items_count(self):
+        db = FaceDatabase(12)
+        assert len(list(db.items())) == 12

@@ -1,0 +1,107 @@
+"""LeNet-5 numpy implementation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lenet import (
+    LeNet5,
+    LeNetApp,
+    MnistStream,
+    conv2d_valid,
+    image_bytes,
+    maxpool2,
+    render_digit,
+    template_set,
+)
+from repro.errors import ConfigError
+
+
+class TestLayers:
+    def test_conv_identity_kernel(self):
+        x = np.arange(25, dtype=float).reshape(1, 5, 5)
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0  # identity
+        out = conv2d_valid(x, w, np.zeros(1))
+        assert out.shape == (1, 3, 3)
+        assert np.allclose(out[0], x[0, 1:4, 1:4])
+
+    def test_conv_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        fast = conv2d_valid(x, w, b)
+        naive = np.zeros_like(fast)
+        for k in range(4):
+            for i in range(6):
+                for j in range(6):
+                    naive[k, i, j] = np.sum(x[:, i:i+3, j:j+3] * w[k]) + b[k]
+        assert np.allclose(fast, naive)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ConfigError):
+            conv2d_valid(np.zeros((2, 5, 5)), np.zeros((1, 3, 3, 3)),
+                         np.zeros(1))
+
+    def test_maxpool(self):
+        x = np.array([[[1, 2, 5, 0],
+                       [3, 4, 1, 1],
+                       [0, 0, 9, 2],
+                       [7, 1, 3, 4]]], dtype=float)
+        out = maxpool2(x)
+        assert np.array_equal(out[0], [[4, 5], [7, 9]])
+
+
+class TestModel:
+    def test_forward_shape(self):
+        logits = LeNet5().forward(np.zeros(784, dtype=np.uint8))
+        assert logits.shape == (10,)
+
+    def test_deterministic_given_seed(self):
+        img = image_bytes(3)
+        assert LeNet5(seed=5).classify(img) == LeNet5(seed=5).classify(img)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ConfigError):
+            LeNet5().forward(np.zeros(100))
+
+    def test_calibrated_model_classifies_clean_digits(self):
+        model = LeNet5().calibrate_to_templates(template_set())
+        for digit in range(10):
+            assert model.classify(render_digit(digit)) == digit
+
+    def test_calibrated_model_tolerates_noise_and_shift(self):
+        model = LeNet5().calibrate_to_templates(template_set())
+        stream = MnistStream(seed=42)
+        pairs = [stream.sample(i) for i in range(50)]
+        correct = sum(1 for p, label in pairs if model.classify(p) == label)
+        assert correct >= 40  # >=80% on the noisy stream
+
+
+class TestApp:
+    def test_app_encodes_digit(self):
+        app = LeNetApp()
+        payload = image_bytes(7)
+        assert app.decode_response(app.compute(payload)) == 7
+
+    def test_fast_mode_skips_compute(self):
+        app = LeNetApp(compute_for_real=False)
+        assert app.decode_response(app.compute(image_bytes(7))) == 0
+
+    def test_uses_dynamic_parallelism(self):
+        # §6.3: inference kernels are spawned from the polling kernel.
+        assert LeNetApp.use_dynamic_parallelism
+
+
+class TestMnist:
+    def test_image_is_784_bytes(self):
+        assert len(image_bytes(0)) == 784
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(ConfigError):
+            render_digit(10)
+
+    def test_stream_cycles_labels(self):
+        stream = MnistStream()
+        labels = [stream.sample(i)[1] for i in range(20)]
+        assert labels == list(range(10)) * 2

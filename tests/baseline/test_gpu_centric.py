@@ -1,0 +1,99 @@
+"""GPU-centric baseline (§3.3, GPUnet-style)."""
+
+import pytest
+
+from repro import Testbed
+from repro.apps.base import EchoApp, SpinApp
+from repro.baseline.gpu_centric import GpuCentricServer, RDMA_PROTO
+from repro.errors import ConfigError
+from repro.net import Address, ClosedLoopGenerator
+
+
+def build(app=None, app_tbs=200, io_tbs=32, helpers=2):
+    tb = Testbed()
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    server = GpuCentricServer(tb.env, host, gpu, app or EchoApp(),
+                              port=7777, app_threadblocks=app_tbs,
+                              io_threadblocks=io_tbs, helper_cores=helpers)
+    return tb, host, gpu, server
+
+
+class TestConstruction:
+    def test_threadblocks_bounded_by_gpu(self):
+        tb = Testbed()
+        host = tb.machine("10.0.0.1")
+        gpu = host.add_gpu()
+        with pytest.raises(ConfigError):
+            GpuCentricServer(tb.env, host, gpu, EchoApp(), port=7777,
+                             app_threadblocks=230, io_threadblocks=20)
+
+    def test_needs_io_threadblocks(self):
+        tb = Testbed()
+        host = tb.machine("10.0.0.1")
+        gpu = host.add_gpu()
+        with pytest.raises(ConfigError):
+            GpuCentricServer(tb.env, host, gpu, EchoApp(), port=7777,
+                             io_threadblocks=0)
+
+    def test_occupies_whole_gpu(self):
+        tb, host, gpu, server = build(app_tbs=200, io_tbs=40)
+        tb.run(until=10)
+        assert gpu.sm_slots.in_use == 240
+
+
+class TestServing:
+    def test_rdma_echo_roundtrip(self):
+        tb, host, gpu, server = build()
+        client = tb.client("10.0.1.1")
+        results = []
+
+        def run(env):
+            for i in range(5):
+                response = yield from client.request(
+                    b"msg-%d" % i, Address("10.0.0.1", 7777),
+                    proto=RDMA_PROTO)
+                results.append(bytes(response.payload))
+
+        tb.env.process(run(tb.env))
+        tb.run(until=20000)
+        assert results == [b"msg-%d" % i for i in range(5)]
+
+    def test_udp_clients_rejected(self):
+        """§3.3: GPU-side stacks are InfiniBand-only."""
+        tb, host, gpu, server = build()
+        client = tb.client("10.0.1.1")
+        gen = ClosedLoopGenerator(tb.env, client, Address("10.0.0.1", 7777),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"x", proto="udp",
+                                  timeout=2000)
+        tb.run(until=20000)
+        assert gen.completed == 0
+        assert server.dropped > 0
+
+    def test_host_helpers_burn_cpu(self):
+        """§3.3: 'the majority of these works require a few host CPU
+        cores to operate the GPU-side network I/O'."""
+        tb, host, gpu, server = build(app=SpinApp(50.0))
+        client = tb.client("10.0.1.1")
+        ClosedLoopGenerator(tb.env, client, Address("10.0.0.1", 7777),
+                            concurrency=64, payload_fn=lambda i: b"x" * 32,
+                            proto=RDMA_PROTO)
+        tb.run(until=100000)
+        assert server.helpers.utilization > 0.02
+
+    def test_io_threadblocks_limit_app_capacity(self):
+        """Fewer app threadblocks => lower compute-bound throughput."""
+        rates = {}
+        for io_tbs in (16, 120):
+            tb, host, gpu, server = build(app=SpinApp(200.0),
+                                          app_tbs=240 - io_tbs,
+                                          io_tbs=io_tbs, helpers=3)
+            client = tb.client("10.0.1.1")
+            ClosedLoopGenerator(tb.env, client, Address("10.0.0.1", 7777),
+                                concurrency=300,
+                                payload_fn=lambda i: b"x" * 32,
+                                proto=RDMA_PROTO, timeout=50000)
+            tb.warmup_then_measure([client.responses], 20000, 50000)
+            rates[io_tbs] = client.responses.per_sec()
+        assert rates[120] < 0.65 * rates[16]

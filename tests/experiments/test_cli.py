@@ -1,0 +1,29 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "E15" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["E01"]) == 0
+        out = capsys.readouterr().out
+        assert "[E01]" in out
+        assert "overhead" in out
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["E99"])
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["e01"]) == 0
+        assert "[E01]" in capsys.readouterr().out
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "E01"]) == 0

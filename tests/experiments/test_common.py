@@ -1,0 +1,65 @@
+"""The shared deployment builders used by every experiment."""
+
+import pytest
+
+from repro.apps.base import EchoApp, SpinApp
+from repro.experiments.common import (
+    ALL_DESIGNS,
+    HOST_CENTRIC,
+    LYNX_BLUEFIELD,
+    LYNX_XEON_1,
+    LYNX_XEON_6,
+    deploy,
+    measure_closed_loop,
+    measure_saturation,
+)
+from repro.net.packet import UDP
+
+
+class TestDeploy:
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_every_design_serves_requests(self, design):
+        dep = deploy(design, app=EchoApp(), n_mqueues=2, proto=UDP)
+        tput, latency = measure_closed_loop(dep, lambda i: b"ping",
+                                            concurrency=2, warmup=5000.0,
+                                            measure=20000.0)
+        assert tput > 1000
+        assert latency.count > 10
+
+    def test_lynx_designs_expose_service_handle(self):
+        dep = deploy(LYNX_BLUEFIELD, app=EchoApp(), n_mqueues=3)
+        assert dep.service is not None
+        assert len(dep.service.mqueues) == 3
+
+    def test_host_centric_has_no_service_handle(self):
+        dep = deploy(HOST_CENTRIC, app=EchoApp())
+        assert dep.service is None
+
+    def test_bluefield_address_is_the_snic(self):
+        dep = deploy(LYNX_BLUEFIELD, app=EchoApp())
+        assert dep.address.ip == "10.0.0.100"
+        assert deploy(LYNX_XEON_1, app=EchoApp()).address.ip == "10.0.0.1"
+
+    def test_xeon_core_counts(self):
+        one = deploy(LYNX_XEON_1, app=EchoApp())
+        six = deploy(LYNX_XEON_6, app=EchoApp())
+        assert one.server.workers.count == 1
+        assert six.server.workers.count == 6
+
+
+class TestMeasurement:
+    def test_saturation_reports_delivered_not_offered(self):
+        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(200.0), n_mqueues=1)
+        delivered = measure_saturation(dep, lambda i: b"x" * 16,
+                                       offered_per_sec=200000,
+                                       warmup=10000.0, measure=30000.0)
+        # a single 200us threadblock cannot exceed ~5K/s
+        assert delivered < 7000
+
+    def test_results_deterministic_for_fixed_seed(self):
+        def once():
+            dep = deploy(LYNX_BLUEFIELD, app=SpinApp(50.0), seed=9)
+            return measure_closed_loop(dep, lambda i: b"x", concurrency=2,
+                                       warmup=5000.0, measure=20000.0)[0]
+
+        assert once() == once()

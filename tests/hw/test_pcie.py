@@ -1,0 +1,99 @@
+"""PCIe link / fabric models."""
+
+import pytest
+
+from repro.config import PcieProfile
+from repro.errors import ConfigError
+from repro.hw.pcie import PcieFabric, PcieLink
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPcieLink:
+    def test_transfer_time_has_latency_plus_serialization(self, env):
+        link = PcieLink(env, PcieProfile.gen3_x16())
+
+        def proc(env):
+            yield from link.transfer(12000, "down")
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        expected = 0.5 + 12000 / PcieProfile.gen3_x16().bandwidth
+        assert p.value == pytest.approx(expected)
+
+    def test_directions_are_independent(self, env):
+        link = PcieLink(env, PcieProfile.gen3_x16())
+        ends = {}
+
+        def proc(env, direction):
+            yield from link.transfer(120000, direction)
+            ends[direction] = env.now
+
+        env.process(proc(env, "up"))
+        env.process(proc(env, "down"))
+        env.run()
+        assert ends["up"] == pytest.approx(ends["down"])
+
+    def test_same_direction_serializes(self, env):
+        link = PcieLink(env, PcieProfile.gen3_x16())
+        ends = []
+
+        def proc(env):
+            yield from link.transfer(120000, "down")
+            ends.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert ends[1] == pytest.approx(2 * ends[0], rel=0.1)
+
+    def test_bad_direction_rejected(self, env):
+        link = PcieLink(env, PcieProfile.gen3_x16())
+        env.process(link.transfer(10, "sideways"))
+        with pytest.raises(ConfigError):
+            env.run()
+
+    def test_analytic_transfer_time(self, env):
+        link = PcieLink(env, PcieProfile.gen3_x8())
+        assert link.transfer_time(0) == pytest.approx(0.5)
+
+
+class TestPcieFabric:
+    def test_attach_and_route(self, env):
+        fabric = PcieFabric(env)
+        nic_link = PcieLink(env, PcieProfile.gen3_x8(), name="nic")
+        gpu_link = PcieLink(env, PcieProfile.gen3_x16(), name="gpu")
+        fabric.attach("nic", nic_link)
+        fabric.attach("gpu", gpu_link)
+
+        def proc(env):
+            yield from fabric.dma("nic", "gpu", 4096)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        expected = (nic_link.transfer_time(4096) + fabric.hop_latency
+                    + gpu_link.transfer_time(4096))
+        assert p.value == pytest.approx(expected)
+
+    def test_double_attach_rejected(self, env):
+        fabric = PcieFabric(env)
+        link = PcieLink(env, PcieProfile.gen3_x8())
+        fabric.attach("dev", link)
+        with pytest.raises(ConfigError):
+            fabric.attach("dev", link)
+
+    def test_unknown_device_rejected(self, env):
+        fabric = PcieFabric(env)
+        with pytest.raises(ConfigError):
+            fabric.link_of("ghost")
+
+    def test_devices_listing(self, env):
+        fabric = PcieFabric(env)
+        fabric.attach("a", PcieLink(env, PcieProfile.gen3_x8()))
+        assert fabric.devices() == ("a",)

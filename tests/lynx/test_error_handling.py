@@ -1,0 +1,122 @@
+"""Backend-error propagation through the mqueue metadata (§5.1)."""
+
+import pytest
+
+from repro import Testbed
+from repro.apps.base import ServerApp
+from repro.config import DEFAULT_CONFIG
+from repro.errors import ConfigError
+from repro.lynx.mqueue import ERR_CONNECTION, ERR_TIMEOUT, MQueue
+from repro.net import Address, ClosedLoopGenerator
+from repro.net.packet import TCP, UDP
+
+
+class _BackendEchoApp(ServerApp):
+    """Calls its backend per request; records the entry's error code."""
+
+    name = "backend-echo"
+
+    def __init__(self):
+        self.errors = []
+
+    def handle(self, ctx, entry):
+        reply = yield from ctx.call("db", entry.payload)
+        self.errors.append(reply.error)
+        if reply.error:
+            return b"ERR"
+        return bytes(reply.payload)
+
+
+def _deploy_with_backend(backend_ip, udp_backend=False, config=None):
+    """GPU service whose backend may or may not exist."""
+    tb = Testbed(config=config)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    snic = tb.bluefield("10.0.0.100")
+    runtime, server = tb.lynx_on_bluefield(snic)
+    app = _BackendEchoApp()
+    proto = UDP if udp_backend else TCP
+    proc = env.process(runtime.start_gpu_service(
+        gpu, app, port=8000, n_mqueues=1,
+        backends={"db": (Address(backend_ip, 11211), proto)}))
+    return tb, env, app, server, proc
+
+
+class TestBackendTimeout:
+    def test_missing_udp_backend_yields_timeout_error(self):
+        tb, env, app, server, proc = _deploy_with_backend(
+            "10.9.9.9", udp_backend=True)
+        env.run(until=5000)
+        client = tb.client("10.0.1.1")
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.100", 8000),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=100000)
+        env.run(until=100000)
+        assert app.errors, "handler never unblocked"
+        assert set(app.errors) == {ERR_TIMEOUT}
+        assert gen.completed > 0  # error responses still flow back
+
+    def test_timeout_honours_configured_deadline(self):
+        from dataclasses import replace
+
+        config = DEFAULT_CONFIG.with_(
+            lynx=replace(DEFAULT_CONFIG.lynx, backend_timeout=2000.0))
+        tb, env, app, server, proc = _deploy_with_backend(
+            "10.9.9.9", udp_backend=True, config=config)
+        env.run(until=5000)
+        client = tb.client("10.0.1.1")
+        start = env.now
+
+        def one(env):
+            yield from client.request(b"ping", Address("10.0.0.100", 8000),
+                                      proto=UDP)
+
+        env.process(one(env))
+        env.run(until=start + 10000)
+        assert app.errors == [ERR_TIMEOUT]
+
+
+class TestConnectionError:
+    def test_unestablished_tcp_backend_flagged(self):
+        tb, env, app, server, proc = _deploy_with_backend("10.9.9.9")
+        # the TCP handshake to a dead backend never completes, so the
+        # setup process is still waiting; build the path manually
+        env.run(until=5000)
+        assert proc.is_alive  # connect is stuck, as in reality
+
+    def test_lost_connection_reported_not_hung(self):
+        tb, env, app, server, proc = _deploy_with_backend("10.0.0.2")
+        # a real backend machine exists but only completes handshakes
+        from repro.apps.memcached import MemcachedServer
+        from repro.config import XEON_VMA
+
+        host2 = tb.machine("10.0.0.2")
+        mc = MemcachedServer(env, host2.nic, host2.pool(count=1, name="mc"),
+                             XEON_VMA)
+        env.run(until=5000)
+        service = proc.value
+        assert service is not None
+        # sever the connection under the SNIC's feet
+        cmq = service.contexts[0].client_mqs["db"]
+        cmq.conn.established = False
+        client = tb.client("10.0.1.1")
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.100", 8000),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=100000)
+        env.run(until=60000)
+        assert ERR_CONNECTION in app.errors
+
+
+class TestBindingProtection:
+    def test_mqueue_cannot_serve_two_ports(self):
+        tb = Testbed()
+        host = tb.machine("10.0.0.1")
+        gpu = host.add_gpu()
+        snic = tb.bluefield("10.0.0.100")
+        runtime, server = tb.lynx_on_bluefield(snic)
+        mqs = runtime.create_server_mqueues(gpu, port=7000, count=1)
+        with pytest.raises(ConfigError, match="already bound"):
+            server.bind(7001, mqs)

@@ -1,0 +1,131 @@
+"""Innova RX-path Lynx server (§5.2)."""
+
+import pytest
+
+from repro import Testbed
+from repro.config import InnovaProfile
+from repro.errors import ConfigError
+from repro.lynx.innova import InnovaLynxServer
+from repro.lynx.mqueue import MQueue
+from repro.net.packet import Address, Message, UDP
+
+
+def build(num_mqueues=4, helper=True):
+    tb = Testbed()
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu()
+    snic = tb.innova("10.0.0.101")
+    helper_pool = host.pool(count=1, name="helper") if helper else None
+    server = InnovaLynxServer(env, snic, helper_pool)
+    mqs = [MQueue(env, gpu.memory, entries=64, name="imq%d" % i)
+           for i in range(num_mqueues)]
+    server.bind(7777, mqs)
+    return tb, env, gpu, snic, server, mqs
+
+
+class TestPrototypeLimitations:
+    def test_helper_thread_required(self):
+        tb = Testbed()
+        host = tb.machine("10.0.0.1")
+        snic = tb.innova("10.0.0.101")
+        with pytest.raises(ConfigError, match="helper"):
+            InnovaLynxServer(tb.env, snic, None)
+
+    def test_no_send_path(self):
+        tb, env, gpu, snic, server, mqs = build()
+        with pytest.raises(ConfigError, match="receive path only"):
+            server.send_path_unsupported()
+
+
+class TestReceivePath:
+    def _flood(self, tb, n, port=7777):
+        src = Address("10.0.8.1", 5555)
+        for i in range(n):
+            tb.network.deliver(Message(src, Address("10.0.0.101", port),
+                                       b"x" * 64, proto=UDP))
+
+    def test_messages_land_in_mqueues_round_robin(self):
+        tb, env, gpu, snic, server, mqs = build()
+        self._flood(tb, 8)
+        tb.run(until=1000)
+        assert [len(mq.rx_ring) for mq in mqs] == [2, 2, 2, 2]
+
+    def test_unbound_port_dropped(self):
+        tb, env, gpu, snic, server, mqs = build()
+        self._flood(tb, 3, port=9999)
+        tb.run(until=1000)
+        assert server.dropped == 3
+
+    def test_afu_counts_processed(self):
+        tb, env, gpu, snic, server, mqs = build()
+        self._flood(tb, 10)
+        tb.run(until=1000)
+        assert snic.processed.count == 10
+
+    def test_helper_core_charged_per_message(self):
+        tb, env, gpu, snic, server, mqs = build()
+        helper = server.helper_pool
+        self._flood(tb, 100)
+        tb.run(until=2000)
+        assert helper.utilization > 0.0
+
+
+class TestProjectedFullInnova:
+    """§5.2: the projected configuration (RC rings, no helper, TX path)."""
+
+    def _build_full(self):
+        from repro.config import INNOVA_PROJECTED
+
+        tb = Testbed()
+        env = tb.env
+        host = tb.machine("10.0.0.1")
+        gpu = host.add_gpu()
+        snic = tb.innova("10.0.0.101", profile=INNOVA_PROJECTED)
+        server = InnovaLynxServer(env, snic, helper_pool=None)
+        mqs = [MQueue(env, gpu.memory, entries=64, name="fmq%d" % i)
+               for i in range(4)]
+        server.bind(7777, mqs)
+
+        # GPU echo threadblocks using the standard I/O library
+        from repro.lynx.iolib import AcceleratorIO
+
+        io = AcceleratorIO(env, gpu.poll_latency)
+
+        def body(tb_index):
+            mq = mqs[tb_index]
+            while True:
+                entry = yield from io.recv(mq)
+                yield from io.send(mq, entry.payload, reply_to=entry)
+
+        gpu.persistent_kernel(4, body)
+        return tb, env, snic, server
+
+    def test_no_helper_needed(self):
+        tb, env, snic, server = self._build_full()
+        assert server.helper_pool is None
+
+    def test_full_echo_roundtrip(self):
+        tb, env, snic, server = self._build_full()
+        client = tb.client("10.0.1.1")
+        results = []
+
+        def drive(env):
+            for i in range(5):
+                r = yield from client.request(b"ping-%d" % i,
+                                              Address("10.0.0.101", 7777),
+                                              proto=UDP)
+                results.append(bytes(r.payload))
+
+        env.process(drive(env))
+        env.run(until=20000)
+        assert results == [b"ping-%d" % i for i in range(5)]
+        assert server.responses.count == 5
+
+    def test_prototype_profile_still_refuses_tx(self):
+        tb = Testbed()
+        snic = tb.innova("10.0.0.101")
+        host = tb.machine("10.0.0.1")
+        server = InnovaLynxServer(tb.env, snic, host.pool(count=1, name="h"))
+        with pytest.raises(ConfigError):
+            server.send_path_unsupported()

@@ -1,0 +1,93 @@
+"""Arrival processes."""
+
+import pytest
+
+from repro.errors import NetworkError, ConfigError
+from repro.net.arrivals import OnOffBurst, Poisson, TraceReplay, Uniform
+from repro.sim import RngRegistry
+
+
+class TestUniform:
+    def test_constant_gap(self):
+        proc = Uniform(0.5)
+        assert [proc.next_gap() for _ in range(3)] == [2.0, 2.0, 2.0]
+
+    def test_rate_validated(self):
+        with pytest.raises(ConfigError):
+            Uniform(0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        proc = Poisson(0.1, RngRegistry(0))
+        gaps = [proc.next_gap() for _ in range(4000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(10.0, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = Poisson(0.1, RngRegistry(1))
+        b = Poisson(0.1, RngRegistry(1))
+        assert [a.next_gap() for _ in range(5)] == \
+               [b.next_gap() for _ in range(5)]
+
+
+class TestOnOffBurst:
+    def test_long_run_rate_matches_formula(self):
+        proc = OnOffBurst(1.0, on_mean_us=100.0, off_mean_us=300.0,
+                          rng=RngRegistry(2))
+        total = sum(proc.next_gap() for _ in range(20000))
+        measured = 20000 / total
+        assert measured == pytest.approx(proc.mean_rate, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """Same mean rate, far higher inter-arrival variability (CV^2)."""
+        import numpy as np
+
+        burst = OnOffBurst(1.0, 100.0, 300.0, rng=RngRegistry(3))
+        pois = Poisson(burst.mean_rate, RngRegistry(3))
+        burst_gaps = np.array([burst.next_gap() for _ in range(5000)])
+        pois_gaps = np.array([pois.next_gap() for _ in range(5000)])
+
+        def cv2(gaps):
+            return gaps.var() / gaps.mean() ** 2
+
+        assert cv2(burst_gaps) > 10 * cv2(pois_gaps)  # Poisson CV^2 == 1
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigError):
+            OnOffBurst(0, 1, 1, RngRegistry(0))
+
+
+class TestTraceReplay:
+    def test_replays_gaps_and_loops(self):
+        proc = TraceReplay([0.0, 5.0, 7.0])
+        assert [proc.next_gap() for _ in range(4)] == [5.0, 2.0, 5.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceReplay([1.0])
+        with pytest.raises(ConfigError):
+            TraceReplay([5.0, 1.0])
+
+
+class TestGeneratorIntegration:
+    def test_open_loop_with_custom_arrivals(self):
+        from repro import Testbed
+        from repro.net import Address, OpenLoopGenerator
+
+        tb = Testbed()
+        client = tb.client("10.0.1.1")
+        gen = OpenLoopGenerator(tb.env, client, Address("10.9.9.9", 1),
+                                payload_fn=lambda i: b"x",
+                                arrivals=Uniform(0.01))
+        tb.run(until=10000)
+        assert gen.offered == pytest.approx(100, abs=3)
+
+    def test_open_loop_requires_rate_or_arrivals(self):
+        from repro import Testbed
+        from repro.net import Address, OpenLoopGenerator
+
+        tb = Testbed()
+        client = tb.client("10.0.1.1")
+        with pytest.raises(NetworkError):
+            OpenLoopGenerator(tb.env, client, Address("10.9.9.9", 1),
+                              payload_fn=lambda i: b"x")

@@ -1,0 +1,136 @@
+"""Load-generator clients (sockperf role)."""
+
+import pytest
+
+from repro.config import XEON_E5_2620, XEON_VMA
+from repro.hw.cpu import CorePool
+from repro.hw.nic import Nic
+from repro.net import (
+    Address,
+    Client,
+    ClosedLoopGenerator,
+    Network,
+    OpenLoopGenerator,
+)
+from repro.net.packet import UDP
+from repro.net.stack import NetworkStack
+from repro.sim import Environment, RngRegistry
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def network(env):
+    return Network(env)
+
+
+class _EchoServer:
+    """Minimal in-test UDP echo server on a NIC."""
+
+    def __init__(self, env, network, ip, port, delay=5.0):
+        self.nic = Nic(env, network, ip)
+        self.delay = delay
+        self.env = env
+        pool = CorePool(env, XEON_E5_2620, count=4)
+        self.stack = NetworkStack(env, pool, XEON_VMA)
+        self.stack.listen(port)
+        env.process(self._loop())
+
+    def _loop(self):
+        while True:
+            msg = yield self.nic.recv()
+            if self.stack.handle_control(msg, self.nic):
+                continue
+            yield self.env.timeout(self.delay)
+            yield from self.nic.send(
+                msg.reply(msg.payload, created_at=self.env.now))
+
+
+class TestClosedLoop:
+    def test_request_response_and_latency(self, env, network):
+        _EchoServer(env, network, "10.0.0.1", 7777)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                  concurrency=2, payload_fn=lambda i: b"ping",
+                                  proto=UDP)
+        env.run(until=1000)
+        assert gen.completed > 10
+        assert client.latency.count == client.responses.count
+        assert client.latency.p50() > 5.0  # at least the server delay
+
+    def test_timeouts_counted_when_server_missing(self, env, network):
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.9.9.9", 7777),
+                                  concurrency=1, payload_fn=lambda i: b"ping",
+                                  proto=UDP, timeout=50)
+        env.run(until=500)
+        assert gen.timeouts >= 5
+        assert gen.completed == 0
+
+
+class TestOpenLoop:
+    def test_offered_rate_close_to_target(self, env, network):
+        _EchoServer(env, network, "10.0.0.1", 7777, delay=0.0)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = OpenLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                rate_per_us=0.05, payload_fn=lambda i: b"p",
+                                proto=UDP)
+        env.run(until=20000)
+        measured = gen.offered / 20000
+        assert measured == pytest.approx(0.05, rel=0.15)
+
+    def test_stop_halts_generation(self, env, network):
+        _EchoServer(env, network, "10.0.0.1", 7777, delay=0.0)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = OpenLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                rate_per_us=0.01, payload_fn=lambda i: b"p",
+                                proto=UDP)
+        env.run(until=1000)
+        gen.stop()
+        offered_at_stop = gen.offered
+        env.run(until=3000)
+        assert gen.offered <= offered_at_stop + 1
+
+    def test_latency_includes_client_processing(self, env, network):
+        _EchoServer(env, network, "10.0.0.1", 7777, delay=0.0)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0),
+                        send_cost=2.0, recv_cost=3.0)
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                  concurrency=1, payload_fn=lambda i: b"p",
+                                  proto=UDP)
+        env.run(until=500)
+        # send_cost elapses in-path; recv_cost is accounted in.
+        assert client.latency.min() >= 2.0 + 3.0
+
+
+class TestClientEdgeCases:
+    def test_source_port_wraparound(self, env, network):
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        client._next_port = 64999
+        a1 = client._source_address()
+        client._next_port = 65001
+        a2 = client._source_address()
+        assert a1.port == 65000
+        assert a2.port == 40001  # wrapped
+
+    def test_two_connections_are_independent(self, env, network):
+        _EchoServer(env, network, "10.0.0.1", 7777, delay=0.0)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        conns = []
+
+        def run(env):
+            from repro.net.packet import Address
+
+            c1 = yield from client.connect(Address("10.0.0.1", 7777))
+            c2 = yield from client.connect(Address("10.0.0.1", 7777))
+            conns.extend([c1, c2])
+
+        env.process(run(env))
+        env.run(until=5000)
+        assert len(conns) == 2
+        assert conns[0].conn_id != conns[1].conn_id
+        assert conns[0].client.port != conns[1].client.port
+        assert all(c.established for c in conns)

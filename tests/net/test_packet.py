@@ -1,0 +1,73 @@
+"""Messages and addressing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.packet import (
+    Address,
+    Message,
+    TCP,
+    TCP_HEADER,
+    UDP,
+    UDP_HEADER,
+    payload_size,
+)
+
+
+class TestAddress:
+    def test_equality_and_hash(self):
+        a = Address("10.0.0.1", 80)
+        b = Address("10.0.0.1", 80)
+        c = Address("10.0.0.1", 81)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_port_validation(self):
+        with pytest.raises(NetworkError):
+            Address("10.0.0.1", 0)
+        with pytest.raises(NetworkError):
+            Address("10.0.0.1", 70000)
+
+    def test_repr(self):
+        assert repr(Address("1.2.3.4", 99)) == "1.2.3.4:99"
+
+
+class TestPayloadSize:
+    def test_bytes(self):
+        assert payload_size(b"abcd") == 4
+
+    def test_numpy(self):
+        assert payload_size(np.zeros(10, dtype=np.int32)) == 40
+
+    def test_none(self):
+        assert payload_size(None) == 0
+
+    def test_str(self):
+        assert payload_size("hello") == 5
+
+
+class TestMessage:
+    def _msg(self, proto=UDP, payload=b"x" * 10):
+        return Message(Address("10.0.0.1", 1234), Address("10.0.0.2", 80),
+                       payload, proto=proto, created_at=5.0)
+
+    def test_wire_size_includes_headers(self):
+        assert self._msg(UDP).wire_size == 10 + UDP_HEADER
+        assert self._msg(TCP).wire_size == 10 + TCP_HEADER
+
+    def test_ids_are_unique(self):
+        assert self._msg().msg_id != self._msg().msg_id
+
+    def test_reply_swaps_addresses_and_links_request(self):
+        req = self._msg()
+        resp = req.reply(b"ok", created_at=9.0)
+        assert resp.src == req.dst and resp.dst == req.src
+        assert resp.kind == "response"
+        assert resp.meta["in_reply_to"] == req.msg_id
+        assert resp.meta["request_created_at"] == 5.0
+        assert resp.proto == req.proto
+
+    def test_explicit_size_override(self):
+        msg = Message(Address("a", 1), Address("b", 2), b"xx", size=1000)
+        assert msg.size == 1000

@@ -1,0 +1,317 @@
+"""Event and process semantics of the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_starts_untriggered(self, env):
+        evt = env.event()
+        assert not evt.triggered
+        assert not evt.processed
+
+    def test_succeed_delivers_value(self, env):
+        evt = env.event()
+        got = []
+
+        def waiter(env):
+            got.append((yield evt))
+
+        env.process(waiter(env))
+        evt.succeed(41)
+        env.run()
+        assert got == [41]
+
+    def test_double_trigger_rejected(self, env):
+        evt = env.event()
+        evt.succeed(1)
+        with pytest.raises(SimulationError):
+            evt.succeed(2)
+        with pytest.raises(SimulationError):
+            evt.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_of_pending_event_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_failed_event_raises_in_waiter(self, env):
+        evt = env.event()
+        caught = []
+
+        def waiter(env):
+            try:
+                yield evt
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter(env))
+        evt.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+
+class TestTimeout:
+    def test_fires_at_the_right_time(self, env):
+        times = []
+
+        def proc(env):
+            yield env.timeout(3.5)
+            times.append(env.now)
+            yield env.timeout(0.5)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [3.5, 4.0]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_is_allowed(self, env):
+        seen = []
+
+        def proc(env):
+            yield env.timeout(0)
+            seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [0.0]
+
+    def test_carries_value(self, env):
+        def proc(env):
+            value = yield env.timeout(1, value="payload")
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "payload"
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.ok and p.value == 99
+
+    def test_process_is_waitable(self, env):
+        def inner(env):
+            yield env.timeout(2)
+            return "inner-result"
+
+        def outer(env):
+            result = yield env.process(inner(env))
+            return (env.now, result)
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == (2.0, "inner-result")
+
+    def test_requires_generator(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_exception_in_process_fails_waiters(self, env):
+        def inner(env):
+            yield env.timeout(1)
+            raise KeyError("inner-bug")
+
+        def outer(env):
+            try:
+                yield env.process(inner(env))
+            except KeyError:
+                return "caught"
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == "caught"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                return (env.now, intr.cause)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(7)
+            victim_proc.interrupt("failure-injection")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == (7.0, "failure-injection")
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            return env.now
+
+        def attacker(env, victim_proc):
+            yield env.timeout(10)
+            victim_proc.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == 15.0
+
+    def test_cannot_interrupt_dead_process(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_any_of_returns_first(self, env):
+        def proc(env):
+            early = env.timeout(3, "early")
+            late = env.timeout(9, "late")
+            result = yield env.any_of([early, late])
+            return (env.now, sorted(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (3.0, ["early"])
+
+    def test_all_of_waits_for_every_event(self, env):
+        def proc(env):
+            a = env.timeout(2, "a")
+            b = env.timeout(5, "b")
+            result = yield env.all_of([a, b])
+            return (env.now, sorted(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (5.0, ["a", "b"])
+
+    def test_empty_condition_fires_immediately(self, env):
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_simultaneous_events_both_collected(self, env):
+        def proc(env):
+            a = env.timeout(4, "a")
+            b = env.timeout(4, "b")
+            result = yield env.any_of([a, b])
+            return sorted(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        # 'a' is scheduled first, so at minimum it is present.
+        assert "a" in p.value
+
+    def test_condition_failure_propagates(self, env):
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("dead")
+
+        def proc(env):
+            f = env.process(failer(env))
+            t = env.timeout(10)
+            try:
+                yield env.all_of([f, t])
+            except RuntimeError:
+                return "condition-failed"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "condition-failed"
+
+
+class TestProcessedEventYield:
+    def test_yielding_processed_event_resumes_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            evt = env.timeout(1, "val")
+            yield env.timeout(5)  # evt fires and is processed meanwhile
+            value = yield evt
+            return (env.now, value)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (5.0, "val")
+
+    def test_two_waiters_on_one_event_both_get_value(self):
+        env = Environment()
+        evt = env.event()
+        got = []
+
+        def waiter(env):
+            got.append((yield evt))
+
+        env.process(waiter(env))
+        env.process(waiter(env))
+        evt.succeed("shared")
+        env.run()
+        assert got == ["shared", "shared"]
+
+    def test_process_event_value_queryable_after_run(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            return {"answer": 42}
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.processed and p.ok
+        assert p.value == {"answer": 42}

@@ -1,0 +1,101 @@
+"""Resource (counted slots + waiter queue) behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def hold(env, res, duration, log, name, priority=0):
+    with res.request(priority=priority) as req:
+        yield req
+        log.append(("start", name, env.now))
+        yield env.timeout(duration)
+        log.append(("end", name, env.now))
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, 0)
+
+    def test_serializes_at_capacity_one(self, env):
+        res = Resource(env, 1)
+        log = []
+        env.process(hold(env, res, 5, log, "a"))
+        env.process(hold(env, res, 3, log, "b"))
+        env.run()
+        assert log == [("start", "a", 0), ("end", "a", 5),
+                       ("start", "b", 5), ("end", "b", 8)]
+
+    def test_parallelism_at_capacity_two(self, env):
+        res = Resource(env, 2)
+        log = []
+        for name in "abc":
+            env.process(hold(env, res, 10, log, name))
+        env.run()
+        starts = {name: t for op, name, t in log if op == "start"}
+        assert starts == {"a": 0, "b": 0, "c": 10}
+
+    def test_fifo_order_among_equal_priorities(self, env):
+        res = Resource(env, 1)
+        log = []
+        for name in "abcd":
+            env.process(hold(env, res, 1, log, name))
+        env.run()
+        assert [name for op, name, _ in log if op == "start"] == list("abcd")
+
+    def test_lower_priority_value_served_first(self, env):
+        res = Resource(env, 1)
+        log = []
+        env.process(hold(env, res, 5, log, "first"))
+        env.process(hold(env, res, 1, log, "normal", priority=0))
+        env.process(hold(env, res, 1, log, "urgent", priority=-1))
+        env.run()
+        order = [name for op, name, _ in log if op == "start"]
+        assert order == ["first", "urgent", "normal"]
+
+    def test_release_is_idempotent(self, env):
+        res = Resource(env, 1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            req.release()
+            req.release()
+
+        env.process(proc(env))
+        env.run()
+        assert res.in_use == 0
+
+    def test_execute_helper(self, env):
+        res = Resource(env, 1)
+
+        def proc(env):
+            yield from res.execute(7)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 7
+
+    def test_utilization_tracked(self, env):
+        res = Resource(env, 1)
+        log = []
+        env.process(hold(env, res, 10, log, "a"))
+        env.run(until=20)
+        assert res.utilization.mean() == pytest.approx(0.5)
+
+    def test_counts_in_use_and_waiting(self, env):
+        res = Resource(env, 1)
+        log = []
+        env.process(hold(env, res, 10, log, "a"))
+        env.process(hold(env, res, 10, log, "b"))
+        env.run(until=5)
+        assert res.in_use == 1
+        assert res.waiting == 1

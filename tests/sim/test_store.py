@@ -1,0 +1,137 @@
+"""Store / PriorityStore channel behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, PriorityStore, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(9)
+            yield store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (9.0, "late")
+
+    def test_put_blocks_when_full(self, env):
+        store = Store(env, capacity=1)
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)  # blocks until the consumer frees a slot
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        p = env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert p.value == 5.0
+
+    def test_try_put_respects_capacity(self, env):
+        store = Store(env, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        env.run()
+        assert len(store) == 2
+
+    def test_try_put_hands_to_waiting_getter(self, env):
+        store = Store(env, capacity=1)
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        c = env.process(consumer(env))
+        env.run(until=1)
+        assert store.try_put("direct")
+        env.run()
+        assert c.value == "direct"
+
+    def test_try_get(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+        store.try_put("x")
+        env.run()
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_total_put_counts(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.try_put(i)
+        env.run()
+        assert store.total_put == 3
+
+    def test_items_snapshot(self, env):
+        store = Store(env)
+        store.try_put("a")
+        store.try_put("b")
+        assert store.items == ("a", "b")
+
+
+class TestPriorityStore:
+    def test_pops_smallest_first(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env):
+            for value in [5, 1, 4, 2]:
+                yield store.put(value)
+
+        def consumer(env):
+            yield env.timeout(1)
+            for _ in range(4):
+                got.append((yield store.get()))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [1, 2, 4, 5]
+
+    def test_ties_broken_by_insertion_order(self, env):
+        store = PriorityStore(env)
+        store.try_put((1, "first"))
+        store.try_put((1, "second"))
+        env.run()
+        assert store.try_get() == (1, "first")
+        assert store.try_get() == (1, "second")

@@ -1,0 +1,73 @@
+"""Tracing utilities and units helpers."""
+
+import pytest
+
+from repro import units
+from repro.sim import Environment, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.emit("nic", "rx")
+        assert tracer.records == []
+
+    def test_records_when_enabled(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=True)
+        tracer.emit("nic", "rx", detail="64B")
+        env.run(until=5)
+        tracer.emit("gpu", "launch")
+        assert len(tracer.records) == 2
+        assert tracer.records[1][0] == 5
+
+    def test_filter(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=True)
+        tracer.emit("nic", "rx")
+        tracer.emit("nic", "tx")
+        tracer.emit("gpu", "rx")
+        assert len(tracer.filter(component="nic")) == 2
+        assert len(tracer.filter(event="rx")) == 2
+        assert len(tracer.filter(component="gpu", event="rx")) == 1
+
+    def test_limit(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=True, limit=2)
+        for _ in range(5):
+            tracer.emit("c", "e")
+        assert len(tracer.records) == 2
+
+    def test_format(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=True)
+        tracer.emit("nic", "rx", detail="abc")
+        assert "nic" in tracer.format()
+        assert "abc" in tracer.format()
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        tracer.emit("x", "y")
+        assert tracer.filter() == []
+        assert not tracer.enabled
+
+
+class TestUnits:
+    def test_time_constants(self):
+        assert units.MS == 1000 * units.US
+        assert units.SEC == 1000 * units.MS
+        assert units.NS == units.US / 1000
+
+    def test_gbps(self):
+        # 8 Gb/s == 1 GB/s == 1000 bytes/us
+        assert units.gbps(8) == pytest.approx(1000.0)
+
+    def test_gbytes_per_sec(self):
+        assert units.gbytes_per_sec(1) == pytest.approx(1000.0)
+
+    def test_mpps(self):
+        assert units.mpps(1) == pytest.approx(1.0)
+
+    def test_round_trip_rate_helpers(self):
+        assert units.to_krps(units.per_sec(250000)) == pytest.approx(250.0)

@@ -1,0 +1,99 @@
+"""Sanity of the calibrated profiles (config.py is the model's anchor)."""
+
+import dataclasses
+
+import pytest
+
+from repro import config
+
+
+ALL_STACKS = (config.XEON_VMA, config.XEON_KERNEL, config.ARM_VMA,
+              config.ARM_KERNEL, config.VCA_KERNEL)
+
+
+class TestStackProfiles:
+    def test_all_costs_positive(self):
+        for profile in ALL_STACKS:
+            for field in dataclasses.fields(profile):
+                value = getattr(profile, field.name)
+                if isinstance(value, float):
+                    assert value > 0, (profile.name, field.name)
+
+    def test_tcp_always_costs_more_than_udp(self):
+        for profile in ALL_STACKS:
+            assert profile.tcp_rx_fixed > profile.udp_rx_fixed
+            assert profile.tcp_tx_fixed > profile.udp_tx_fixed
+
+    def test_arm_slower_than_xeon(self):
+        assert config.ARM_VMA.udp_rx_fixed > config.XEON_VMA.udp_rx_fixed
+        assert config.ARM_VMA.tcp_rx_fixed > config.XEON_VMA.tcp_rx_fixed
+
+    def test_kernel_slower_than_vma(self):
+        assert config.XEON_KERNEL.udp_rx_fixed > config.XEON_VMA.udp_rx_fixed
+        assert config.ARM_KERNEL.udp_rx_fixed > config.ARM_VMA.udp_rx_fixed
+
+
+class TestFig8cCalibration:
+    """The knees the stack profiles were calibrated against (DESIGN §4.3)."""
+
+    LENET_REQ = 784
+    LYNX_OVERHEAD = 2.0  # dispatch + post + forward + sweep share
+
+    def _per_request(self, profile, proto):
+        if proto == "udp":
+            return (profile.udp_rx_fixed + profile.udp_tx_fixed
+                    + profile.udp_per_byte * self.LENET_REQ
+                    + self.LYNX_OVERHEAD)
+        return (profile.tcp_rx_fixed + profile.tcp_tx_fixed
+                + profile.tcp_per_byte * self.LENET_REQ
+                + self.LYNX_OVERHEAD)
+
+    def test_xeon_udp_knee_near_74_gpus(self):
+        capacity = 1e6 / self._per_request(config.XEON_VMA, "udp")
+        assert capacity / 3500 == pytest.approx(74, rel=0.25)
+
+    def test_bluefield_udp_knee_near_102_gpus(self):
+        capacity = 7e6 / self._per_request(config.ARM_VMA, "udp") / 3.0
+        # ARM Lynx-software overheads are 1/speed_factor slower; the
+        # analytic check is loose — the measured knee (E11) is the truth
+        assert 60 <= capacity / 3500 * 3.0 <= 130
+
+    def test_tcp_knees_order(self):
+        xeon = 1e6 / self._per_request(config.XEON_VMA, "tcp") / 3500
+        arm = 7e6 / self._per_request(config.ARM_VMA, "tcp") / 3500
+        assert 5 <= xeon <= 9      # paper: 7
+        assert 12 <= arm <= 19     # paper: 15
+
+
+class TestGpuProfiles:
+    def test_k80_slower_than_k40m(self):
+        assert config.K80.speed_factor < config.K40M.speed_factor
+        # Fig 8b: K80 peaks at 3300 req/s where K40m does ~3500
+        k80_rate = config.K40M.speed_factor / 278.0
+        assert 1e6 * config.K80.speed_factor / 278.0 == pytest.approx(
+            3300, rel=0.03)
+
+    def test_memcpy_fixed_in_paper_band(self):
+        # §5.1: "cudaMemcpyAsync incurs a constant overhead of 7-8us"
+        assert 7.0 <= config.K40M.memcpy_fixed <= 8.0
+
+    def test_max_threadblocks_k40m(self):
+        assert config.K40M.max_threadblocks == 240
+
+
+class TestSimConfig:
+    def test_with_replaces_fields(self):
+        cfg = config.DEFAULT_CONFIG.with_(seed=7)
+        assert cfg.seed == 7
+        assert config.DEFAULT_CONFIG.seed == 42  # frozen original
+
+    def test_profiles_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.K40M.memcpy_fixed = 1.0
+
+    def test_rdma_barrier_matches_paper(self):
+        # §5.1: the write barrier costs ~5us per message
+        assert config.DEFAULT_RDMA.barrier_latency == pytest.approx(5.0)
+
+    def test_bluefield_uses_seven_workers(self):
+        assert config.BluefieldProfile().worker_cores == 7

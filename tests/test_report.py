@@ -1,0 +1,154 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.report import ALL_FIGURES, bar_chart, cdf_chart, line_chart
+
+
+class TestBarChart:
+    def test_longest_bar_is_the_peak(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart([("lynx", 3.5), ("host", 2.8)], unit="K")
+        assert "lynx" in chart and "3.50K" in chart
+        assert "host" in chart and "2.80K" in chart
+
+    def test_title(self):
+        assert bar_chart([("a", 1)], title="T").splitlines()[0] == "T"
+
+    def test_none_value_rendered_as_dash(self):
+        chart = bar_chart([("a", 1.0), ("b", None)])
+        assert chart.splitlines()[1].endswith("-")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart([])
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        chart = line_chart({"up": [(0, 0), (10, 10)],
+                            "flat": [(0, 5), (10, 5)]})
+        assert "o up" in chart
+        assert "x flat" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_bounds_labelled(self):
+        chart = line_chart({"s": [(2, 1), (8, 3)]}, x_label="gpus")
+        assert "2.00" in chart and "8.00" in chart
+        assert "gpus" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart({})
+        with pytest.raises(ConfigError):
+            line_chart({"s": []})
+
+
+class TestCdfChart:
+    def test_monotone_marker_columns(self):
+        rng = np.random.default_rng(0)
+        chart = cdf_chart({"lat": rng.exponential(100, 500)})
+        assert "fraction of requests" in chart
+
+    def test_two_series(self):
+        chart = cdf_chart({"fast": [1, 2, 3] * 20, "slow": [5, 6, 9] * 20})
+        assert "fast" in chart and "slow" in chart
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigError):
+            cdf_chart({"empty": []})
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_present(self):
+        assert set(ALL_FIGURES) == {"fig5", "fig6", "fig7", "fig8a",
+                                    "fig8b", "fig8c", "fig9"}
+
+
+class TestScorecard:
+    def test_grade_bands(self):
+        from repro.report import grade
+
+        assert grade(100, 100) == "MATCH"
+        assert grade(120, 100) == "MATCH"
+        assert grade(150, 100) == "NEAR"
+        assert grade(300, 100) == "DEVIATES"
+        assert grade(1, None) is None
+        assert grade(None, 5) is None
+
+    def test_score_rows_pairs_columns(self):
+        from repro.report import score_rows
+
+        rows = [{"krps": 3.5, "paper_krps": 3.5, "other": 1},
+                {"krps": 9.0, "paper_krps": 3.0}]
+        findings = score_rows(rows)
+        assert [f["verdict"] for f in findings] == ["MATCH", "DEVIATES"]
+
+    def test_results_dir_scoring(self, tmp_path):
+        import json
+
+        from repro.report import render_scorecard, score_results_dir
+
+        blob = {"exp_id": "E42", "rows": [{"krps": 2.9, "paper_krps": 2.8}]}
+        (tmp_path / "E42.json").write_text(json.dumps(blob))
+        scores = score_results_dir(str(tmp_path))
+        assert "E42" in scores
+        card = render_scorecard(scores)
+        assert "MATCH 1" in card
+
+    def test_missing_dir_rejected(self):
+        from repro.errors import ConfigError
+        from repro.report import score_results_dir
+
+        with pytest.raises(ConfigError):
+            score_results_dir("/nonexistent/dir")
+
+
+class TestChartProperties:
+    """Charts must render for arbitrary well-formed data."""
+
+    def test_bar_chart_random_values(self):
+        from hypothesis import given, settings, strategies as st
+
+        @given(values=st.lists(st.floats(min_value=0.001, max_value=1e9,
+                                         allow_nan=False),
+                               min_size=1, max_size=12))
+        @settings(max_examples=30, deadline=None)
+        def check(values):
+            rows = [("row-%d" % i, v) for i, v in enumerate(values)]
+            out = bar_chart(rows)
+            assert len(out.splitlines()) == len(values)
+
+        check()
+
+    def test_line_chart_random_points(self):
+        from hypothesis import given, settings, strategies as st
+
+        point = st.tuples(st.floats(min_value=-1e6, max_value=1e6,
+                                    allow_nan=False),
+                          st.floats(min_value=0, max_value=1e6,
+                                    allow_nan=False))
+
+        @given(pts=st.lists(point, min_size=1, max_size=40))
+        @settings(max_examples=30, deadline=None)
+        def check(pts):
+            out = line_chart({"s": pts})
+            assert "s" in out
+
+        check()
+
+
+class TestFigureSmoke:
+    def test_figure5_renders(self):
+        from repro.report.figures import figure5
+
+        out = figure5(fast=True)
+        assert "Figure 5" in out
+        assert "rdma+rdma" in out
