@@ -27,6 +27,31 @@ _FONT = {
 
 IMAGE_SIDE = 28
 
+#: (digit, shift) -> pre-noise float64 glyph image.  Rendering is a pure
+#: function of its arguments, and load generators re-render the same few
+#: dozen variants for every request.
+_GLYPH_CACHE = {}
+
+
+def _base_image(digit, shift):
+    key = (digit, shift)
+    img = _GLYPH_CACHE.get(key)
+    if img is None:
+        glyph = _FONT[digit]
+        img = np.zeros((IMAGE_SIDE, IMAGE_SIDE), dtype=np.float64)
+        # Upscale 5x7 -> 20x21(ish): each font pixel becomes a 4x3 block.
+        cell_h, cell_w = 3, 4
+        top = (IMAGE_SIDE - len(glyph) * cell_h) // 2 + shift[0]
+        left = (IMAGE_SIDE - len(glyph[0]) * cell_w) // 2 + shift[1]
+        for r, row in enumerate(glyph):
+            for c, ch in enumerate(row):
+                if ch == "#":
+                    y0 = top + r * cell_h
+                    x0 = left + c * cell_w
+                    img[max(0, y0):y0 + cell_h, max(0, x0):x0 + cell_w] = 255.0
+        _GLYPH_CACHE[key] = img
+    return img
+
 
 def render_digit(digit, noise=0.0, shift=(0, 0), rng=None):
     """Render *digit* as a 28x28 uint8 image.
@@ -36,18 +61,7 @@ def render_digit(digit, noise=0.0, shift=(0, 0), rng=None):
     """
     if digit not in _FONT:
         raise ConfigError("digit must be 0..9, got %r" % (digit,))
-    glyph = _FONT[digit]
-    img = np.zeros((IMAGE_SIDE, IMAGE_SIDE), dtype=np.float64)
-    # Upscale 5x7 -> 20x21(ish): each font pixel becomes a 4x3 block.
-    cell_h, cell_w = 3, 4
-    top = (IMAGE_SIDE - len(glyph) * cell_h) // 2 + shift[0]
-    left = (IMAGE_SIDE - len(glyph[0]) * cell_w) // 2 + shift[1]
-    for r, row in enumerate(glyph):
-        for c, ch in enumerate(row):
-            if ch == "#":
-                y0 = top + r * cell_h
-                x0 = left + c * cell_w
-                img[max(0, y0):y0 + cell_h, max(0, x0):x0 + cell_w] = 255.0
+    img = _base_image(digit, tuple(shift)).copy()
     if noise > 0:
         if rng is None:
             rng = np.random.default_rng(digit)

@@ -14,6 +14,13 @@ from .mnist import template_set
 from .model import LeNet5
 
 
+#: seed -> calibrated (fc3_w, fc3_b).  Calibration is a pure function
+#: of the weight seed and the default template set, and experiments
+#: build a fresh LeNetApp per measured design — without the cache each
+#: run pays 90 numpy forward passes for bit-identical weights.
+_CALIBRATION_CACHE = {}
+
+
 class LeNetApp(ServerApp):
     """GPU LeNet inference server application."""
 
@@ -29,7 +36,15 @@ class LeNetApp(ServerApp):
         self.gpu_duration = timings.lenet_gpu
         self.model = LeNet5(seed=seed)
         if calibrated:
-            self.model.calibrate_to_templates(template_set())
+            cached = _CALIBRATION_CACHE.get(seed)
+            if cached is None:
+                self.model.calibrate_to_templates(template_set())
+                _CALIBRATION_CACHE[seed] = (self.model.fc3_w.copy(),
+                                            self.model.fc3_b.copy())
+            else:
+                # calibrate_to_templates only rewrites the fc3 readout.
+                self.model.fc3_w = cached[0].copy()
+                self.model.fc3_b = cached[1].copy()
         #: throughput experiments can skip the numpy forward pass (the
         #: simulated timing is unchanged; the response becomes digit 0)
         self.compute_for_real = compute_for_real

@@ -93,11 +93,11 @@ class GpuCentricServer:
         while True:
             kind, item = yield self._work.get()
             if kind == "rx":
-                yield env.timeout(self.gpu.scaled(GPU_STACK_RX_US))
+                yield env.charge(self.gpu.scaled(GPU_STACK_RX_US))
                 self.requests.tick()
                 yield self._app_ring.put(item)
             else:  # "tx": a response produced by an application block
-                yield env.timeout(self.gpu.scaled(GPU_STACK_TX_US))
+                yield env.charge(self.gpu.scaled(GPU_STACK_TX_US))
                 yield from self.helpers.run_calibrated(HELPER_COST_US)
                 self.responses.tick()
                 self.nic.send_async(item)
@@ -107,6 +107,6 @@ class GpuCentricServer:
         while True:
             msg = yield self._app_ring.get()
             result = self.app.compute(msg.payload)
-            yield env.timeout(self.gpu.scaled(self.app.gpu_duration))
+            yield env.charge(self.gpu.scaled(self.app.gpu_duration))
             response = msg.reply(result, created_at=env.now)
             yield self._work.put(("tx", response))

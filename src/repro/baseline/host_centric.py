@@ -13,7 +13,7 @@ from itertools import count
 
 from ..config import XEON_VMA
 from ..errors import ConfigError, NetworkError
-from ..net.packet import Address, Message, TCP, UDP
+from ..net.packet import Address, Message, TCP, UDP, payload_size
 from ..net.stack import NetworkStack, TcpConnection
 from ..sim import RateMeter, Resource
 
@@ -43,7 +43,7 @@ class HostContext:
             self.pool.run_calibrated(gpu.profile.sync_poll_cost),
             name="sync-spin")
         yield from gpu._execute(duration, 1)
-        yield self.env.timeout(gpu.profile.sync_latency)
+        yield self.env.charge(gpu.profile.sync_latency)
         yield spin
         yield from gpu.memcpy_async(self.pool, out_bytes)
 
@@ -63,13 +63,122 @@ class HostContext:
             gpu.profile.launch_latency + gpu.scaled(duration)
             + gpu.profile.sync_latency), name="sync-block")
         yield from gpu._execute(duration, 1)
-        yield self.env.timeout(gpu.profile.sync_latency)
+        yield self.env.charge(gpu.profile.sync_latency)
         yield spin
         yield from gpu.memcpy_async(self.pool, out_bytes)
 
     def backend_call(self, backend, payload):
         """Generator: asynchronous RPC to a backend service."""
         return (yield from self.server.backend_request(backend, payload))
+
+
+class _HostRxOp:
+    """One serving core's ingress loop as a callback state machine.
+
+    Mirrors the retired ``_rx_loop`` generator process event for event:
+    NIC recv, control handling, stack rx cost on the serving pool (with
+    the pool's cache defaults, so E02's noisy-neighbor setup still
+    applies), CUDA-stream claim, then the detached per-request GPU
+    stage.  The app-specific ``_gpu_stage`` stays a generator — it is
+    spawned through the pooled detached-task path, which consumes the
+    same schedule slot the old inline ``env.detached`` call did.
+    """
+
+    __slots__ = ("server", "env", "pool", "msg", "request", "duration",
+                 "mi", "ws", "token")
+
+    def __init__(self, server):
+        self.server = server
+        self.env = server.env
+        self.pool = server.pool
+        self.msg = None
+        self.request = None
+        self.duration = 0.0
+        self.mi = 0.0
+        self.ws = 0
+        self.token = None
+
+    def start(self):
+        # URGENT kick at now: the slot Process.__init__ used to consume.
+        self.env._kick(self._begin)
+
+    def _begin(self, _event):
+        self._arm()
+
+    def _arm(self):
+        get = self.server.nic.rx.get()
+        get.callbacks.append(self._on_msg)
+
+    def _on_msg(self, get):
+        server = self.server
+        server.nic.rx_rate.count += 1       # inlined nic.recv() rate tick
+        msg = get._value
+        if msg.kind == "tcp-synack":
+            waiter = server._waiters.pop(("synack", msg.conn.conn_id), None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+            self._arm()
+            return
+        waiter = server._waiters.pop(msg.meta.get("in_reply_to"), None)
+        if waiter is not None:
+            # Backend response: the requesting coroutine pays stack RX.
+            if not waiter.triggered:
+                waiter.succeed(msg)
+            self._arm()
+            return
+        if server.stack.handle_control(msg, server.nic):
+            self._arm()
+            return
+        if msg.dst.port != server.port:
+            server.dropped += 1
+            self._arm()
+            return
+        # stack.process_rx: run_calibrated(rx_cost) on the serving pool.
+        pool = self.pool
+        self.msg = msg
+        self.duration = server.stack.rx_cost(msg)
+        self.mi = pool.default_memory_intensity
+        self.ws = pool.default_working_set
+        req = pool._res.request(0)
+        self.request = req
+        req.callbacks.append(self._rx_granted)
+
+    def _rx_granted(self, _event):
+        llc = self.pool.llc
+        duration = self.duration
+        if llc is None or self.ws <= 0:
+            if llc is not None and self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        else:
+            # _timed leg: LLC occupancy held for the span of the charge.
+            self.token = llc.occupy(self.ws)
+            if self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        self.env.charge(duration).callbacks.append(self._rx_charged)
+
+    def _rx_charged(self, _event):
+        token = self.token
+        if token is not None:
+            self.pool.llc.release(token)
+            self.token = None
+        self.request.release()
+        self.request = None
+        server = self.server
+        msg = self.msg
+        if msg.proto == TCP and msg.conn is not None:
+            msg.conn.deliver(msg)
+        server.requests.count += 1          # inlined RateMeter.tick()
+        # Claim a CUDA stream (blocking claims backpressure into the
+        # RX ring, which then drops — classic overloaded server).
+        stream = server.streams.request()
+        stream.callbacks.append(self._stream_granted)
+
+    def _stream_granted(self, stream):
+        server = self.server
+        msg = self.msg
+        self.msg = None
+        server.env.detached(server._gpu_stage(msg, stream))
+        self._arm()
 
 
 class HostCentricServer:
@@ -104,8 +213,8 @@ class HostCentricServer:
         self._next_port = 30000
         # One ingress loop per serving core; overload sheds at the NIC
         # RX ring, and in-flight GPU work is bounded by the stream pool.
-        for i in range(cores):
-            env.process(self._rx_loop(), name="%s-rx%d" % (self.name, i))
+        for _ in range(cores):
+            _HostRxOp(self).start()
 
     # -- backends (multi-tier support, §6.4) -----------------------------------
 
@@ -149,34 +258,8 @@ class HostCentricServer:
         return response
 
     # -- request path ---------------------------------------------------------------
-
-    def _rx_loop(self):
-        while True:
-            msg = yield self.nic.recv()
-            if msg.kind == "tcp-synack":
-                waiter = self._waiters.pop(("synack", msg.conn.conn_id), None)
-                if waiter is not None and not waiter.triggered:
-                    waiter.succeed(msg)
-                continue
-            waiter = self._waiters.pop(msg.meta.get("in_reply_to"), None)
-            if waiter is not None:
-                # Backend response: the requesting coroutine pays stack RX.
-                if not waiter.triggered:
-                    waiter.succeed(msg)
-                continue
-            if self.stack.handle_control(msg, self.nic):
-                continue
-            if msg.dst.port != self.port:
-                self.dropped += 1
-                continue
-            yield from self.stack.process_rx(msg)
-            self.requests.tick()
-            # Claim a CUDA stream (blocking claims backpressure into the
-            # RX ring, which then drops — classic overloaded server).
-            stream = self.streams.request()
-            yield stream
-            self.env.process(self._gpu_stage(msg, stream),
-                             name="%s-gpu" % self.name)
+    # Ingress lives in :class:`_HostRxOp`; only the per-request GPU
+    # stage below still runs as a (detached) generator.
 
     def _gpu_stage(self, msg, stream):
         """The per-request asynchronous stream pipeline + reply."""
@@ -200,8 +283,6 @@ class HostCentricServer:
 def default_handle_host(app, ctx, msg):
     """Default host-side handler: real compute + the GPU pipeline."""
     result = app.compute(msg.payload)
-    from ..net.packet import payload_size
-
     yield from ctx.gpu_pipeline(msg.size, payload_size(result),
                                 app.gpu_duration)
     return result

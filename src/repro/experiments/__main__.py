@@ -15,6 +15,8 @@ import time
 
 from . import REGISTRY
 from . import ablations, breakdown
+from ..sim import kernel_totals, reset_kernel_totals
+from ..sim.stats import format_kernel_stats
 
 
 def main(argv=None):
@@ -32,6 +34,10 @@ def main(argv=None):
     parser.add_argument("--extras", action="store_true",
                         help="also run the latency breakdown and the "
                              "design-choice ablations")
+    parser.add_argument("--kernel-stats", action="store_true",
+                        help="after the runs, print the simulator kernel's "
+                             "own throughput counters (events processed, "
+                             "spawns, heap peak, events/sec)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,6 +53,9 @@ def main(argv=None):
         parser.error("unknown experiment id(s): %s (use --list)"
                      % ", ".join(unknown))
 
+    if args.kernel_stats:
+        reset_kernel_totals()
+
     for exp_id in wanted:
         start = time.time()
         result = REGISTRY[exp_id].run(fast=not args.full, seed=args.seed)
@@ -59,6 +68,9 @@ def main(argv=None):
         for study in ablations.ALL_STUDIES:
             print(study(fast=not args.full, seed=args.seed).render())
             print()
+
+    if args.kernel_stats:
+        print(format_kernel_stats(kernel_totals()))
     return 0
 
 

@@ -30,6 +30,7 @@ def collect(design, kernel_us=0.0, samples=300, seed=42):
     """Mean per-stage spans (us) for one deployment."""
     dep = deploy(design, app=SpinApp(kernel_us), n_mqueues=1, proto=UDP,
                  seed=seed)
+    dep.server.collect_breakdowns = True
     client = dep.tb.client("10.0.9.1")
     breakdowns = []
 

@@ -30,6 +30,7 @@ class LLCModel:
         self._rng = rng
         self._working_sets = {}
         self._next_token = 0
+        self._total = 0
 
     # -- occupancy bookkeeping ----------------------------------------------
 
@@ -38,14 +39,15 @@ class LLCModel:
         token = self._next_token
         self._next_token += 1
         self._working_sets[token] = working_set_bytes
+        self._total += working_set_bytes
         return token
 
     def release(self, token):
-        self._working_sets.pop(token, None)
+        self._total -= self._working_sets.pop(token, 0)
 
     @property
     def total_working_set(self):
-        return sum(self._working_sets.values())
+        return self._total
 
     @property
     def pressure(self):

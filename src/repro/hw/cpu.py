@@ -39,7 +39,7 @@ class Core:
             raise ConfigError("negative duration")
         with self._res.request() as req:
             yield req
-            yield self.env.timeout(duration)
+            yield self.env.charge(duration)
 
     def run_compute(self, xeon_us, memory_intensity=0.0, working_set=0):
         """Generator: run compute work of *xeon_us* Xeon-microseconds.
@@ -58,7 +58,7 @@ class Core:
             try:
                 if self.llc is not None and memory_intensity > 0:
                     duration *= self.llc.penalty(memory_intensity)
-                yield self.env.timeout(duration)
+                yield self.env.charge(duration)
             finally:
                 if token is not None:
                     self.llc.release(token)
@@ -113,10 +113,21 @@ class CorePool:
             memory_intensity = self.default_memory_intensity
         if working_set is None:
             working_set = self.default_working_set
-        with self._res.request(priority=priority) as req:
+        req = self._res.request(priority=priority)
+        try:
             yield req
-            yield from self._timed(duration, memory_intensity, working_set,
-                                   aggressor=False)
+            llc = self.llc
+            if llc is None or working_set <= 0:
+                # Fast path: no LLC occupancy to register, so skip the
+                # _timed sub-generator and charge directly.
+                if llc is not None and memory_intensity > 0:
+                    duration *= llc.penalty(memory_intensity)
+                yield self.env.charge(duration)
+            else:
+                yield from self._timed(duration, memory_intensity,
+                                       working_set, aggressor=False)
+        finally:
+            req.release()
 
     def run_compute(self, xeon_us, memory_intensity=0.0, working_set=0,
                     priority=0, aggressor=False):
@@ -127,10 +138,20 @@ class CorePool:
         """
         if xeon_us < 0:
             raise ConfigError("negative duration")
-        with self._res.request(priority=priority) as req:
+        duration = xeon_us / self.profile.speed_factor
+        req = self._res.request(priority=priority)
+        try:
             yield req
-            yield from self._timed(xeon_us / self.profile.speed_factor,
-                                   memory_intensity, working_set, aggressor)
+            llc = self.llc
+            if llc is None or (working_set <= 0 and not aggressor):
+                if llc is not None and memory_intensity > 0:
+                    duration *= llc.penalty(memory_intensity)
+                yield self.env.charge(duration)
+            else:
+                yield from self._timed(duration, memory_intensity,
+                                       working_set, aggressor)
+        finally:
+            req.release()
 
     def _timed(self, duration, memory_intensity, working_set, aggressor):
         token = None
@@ -142,7 +163,7 @@ class CorePool:
                     duration *= self.llc.aggressor_penalty()
                 elif memory_intensity > 0:
                     duration *= self.llc.penalty(memory_intensity)
-            yield self.env.timeout(duration)
+            yield self.env.charge(duration)
         finally:
             if token is not None:
                 self.llc.release(token)

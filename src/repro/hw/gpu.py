@@ -49,13 +49,32 @@ class CudaDriver:
         faster — the §6.1 driver bottleneck.
         """
         threads = getattr(pool, "count", 1)
-        with self._lock.request() as req:
+        req = self._lock.request()
+        try:
             yield req
             self.ops += 1
             if threads > 1:
                 self.contended_ops += 1
                 cost *= 1.0 + self.CONTENTION_FACTOR * min(threads - 1, 8)
-            yield from pool.run_calibrated(cost)
+            # pool.run_calibrated(cost), inlined (driver calls are the
+            # hottest host-centric path); works for Core and CorePool —
+            # a bare Core has no pool-wide cache defaults.
+            mi = getattr(pool, "default_memory_intensity", 0.0)
+            ws = getattr(pool, "default_working_set", 0)
+            core = pool._res.request(0)
+            try:
+                yield core
+                llc = getattr(pool, "llc", None)
+                if llc is None or ws <= 0:
+                    if llc is not None and mi > 0:
+                        cost *= llc.penalty(mi)
+                    yield self.env.charge(cost)
+                else:
+                    yield from pool._timed(cost, mi, ws, aggressor=False)
+            finally:
+                core.release()
+        finally:
+            req.release()
 
 
 class GPU:
@@ -88,7 +107,7 @@ class GPU:
             duration = nbytes / self.profile.copy_bandwidth
             if self.pcie_link is not None:
                 duration += self.pcie_link.profile.latency
-            yield self.env.timeout(duration)
+            yield self.env.charge(duration)
 
     def memcpy_async(self, pool, nbytes):
         """Generator: full cudaMemcpyAsync — driver call + DMA."""
@@ -116,12 +135,12 @@ class GPU:
         if exclusive:
             with self._exclusive.request() as req:
                 yield req
-                yield self.env.timeout(self.profile.launch_latency
-                                       + self.scaled(duration))
+                yield self.env.charge(self.profile.launch_latency
+                                      + self.scaled(duration))
             self.kernels_launched += 1
         else:
             yield from self._execute(duration, threadblocks)
-        yield self.env.timeout(self.profile.sync_latency)
+        yield self.env.charge(self.profile.sync_latency)
 
     def run_kernel_chain(self, pool, durations):
         """Generator: a default-stream kernel chain (TVM-executor style).
@@ -136,18 +155,18 @@ class GPU:
             yield req
             for duration in durations:
                 yield from self.driver.op(pool, self.profile.driver_op_cost)
-                yield self.env.timeout(self.profile.launch_latency
-                                       + self.scaled(duration))
-                yield self.env.timeout(self.profile.sync_latency)
+                yield self.env.charge(self.profile.launch_latency
+                                      + self.scaled(duration))
+                yield self.env.charge(self.profile.sync_latency)
                 self.kernels_launched += 1
 
     def child_launch(self, duration, threadblocks=1):
         """Generator: dynamic-parallelism launch from device code."""
-        yield self.env.timeout(self.profile.device_launch_latency)
+        yield self.env.charge(self.profile.device_launch_latency)
         yield from self._run_blocks(duration, threadblocks)
 
     def _execute(self, duration, threadblocks):
-        yield self.env.timeout(self.profile.launch_latency)
+        yield self.env.charge(self.profile.launch_latency)
         yield from self._run_blocks(duration, threadblocks)
 
     def _run_blocks(self, duration, threadblocks):
@@ -158,7 +177,7 @@ class GPU:
             yield req
         self.kernels_launched += 1
         try:
-            yield self.env.timeout(self.scaled(duration))
+            yield self.env.charge(self.scaled(duration))
         finally:
             for req in requests:
                 req.release()

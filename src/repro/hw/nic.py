@@ -35,13 +35,13 @@ class Nic:
         """Generator: serialize *msg* out of the port."""
         with self._tx.request() as req:
             yield req
-            yield self.env.timeout(msg.wire_size / self.link_rate)
+            yield self.env.charge(msg.wire_size / self.link_rate)
         self.tx_rate.tick()
         self.network.deliver(msg)
 
     def send_async(self, msg):
         """Fire-and-forget variant of :meth:`send`."""
-        self.env.process(self.send(msg), name="%s-send" % self.name)
+        self.env.detached(self.send(msg))
 
     def recv(self):
         """Event: next received message (also counts RX rate)."""

@@ -29,7 +29,7 @@ class PcieLink:
         channel = self._channel[direction]
         with channel.request() as req:
             yield req
-            yield self.env.timeout(
+            yield self.env.charge(
                 self.profile.latency + nbytes / self.profile.bandwidth)
 
     def transfer_time(self, nbytes):
@@ -67,7 +67,7 @@ class PcieFabric:
         src_link = self.link_of(src)
         dst_link = self.link_of(dst)
         yield from src_link.transfer(nbytes, "up")
-        yield self.env.timeout(self.hop_latency)
+        yield self.env.charge(self.hop_latency)
         yield from dst_link.transfer(nbytes, "down")
 
     def devices(self):

@@ -68,9 +68,9 @@ class InnovaSNIC:
         """Generator: pass one message through the AFU UDP pipeline."""
         with self._issue.request() as req:
             yield req
-            yield self.env.timeout(self._gap)
+            yield self.env.charge(self._gap)
         self.processed.tick()
-        yield self.env.timeout(self.profile.pipeline_latency)
+        yield self.env.charge(self.profile.pipeline_latency)
 
     def check_tx_supported(self):
         """The paper's Innova prototype implements only the receive path."""

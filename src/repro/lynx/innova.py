@@ -79,12 +79,12 @@ class InnovaLynxServer:
             # per 1/afu_rate; everything downstream is pipelined.
             with self.snic._issue.request() as req:
                 yield req
-                yield self.env.timeout(self.snic._gap)
+                yield self.env.charge(self.snic._gap)
             self.snic.processed.tick()
-            self.env.process(self._deliver(msg), name="%s-d" % self.name)
+            self.env.detached(self._deliver(msg))
 
     def _deliver(self, msg):
-        yield self.env.timeout(self.snic.profile.pipeline_latency)
+        yield self.env.charge(self.snic.profile.pipeline_latency)
         binding = self._ports.get(msg.dst.port)
         if binding is None:
             self.dropped += 1
@@ -114,7 +114,7 @@ class InnovaLynxServer:
                 entry = mq.tx_ring.try_get()
                 if entry is None:
                     break
-                env.process(self._send(mq, entry), name="%s-s" % self.name)
+                env.detached(self._send(mq, entry))
 
     def _send(self, mq, entry):
         qp = self._qps[mq.bound_port]
@@ -123,8 +123,8 @@ class InnovaLynxServer:
         # ...and the AFU's UDP stack emits it at line rate
         with self.snic._issue.request() as req:
             yield req
-            yield self.env.timeout(self.snic._gap)
-        yield self.env.timeout(self.snic.profile.pipeline_latency)
+            yield self.env.charge(self.snic._gap)
+        yield self.env.charge(self.snic.profile.pipeline_latency)
         request = entry.request_msg
         if request is None:
             return

@@ -7,6 +7,7 @@ accelerator-local memory; all heavy lifting happens on the SNIC.
 """
 
 from ..errors import ConfigError
+from ..net.packet import payload_size
 from .mqueue import MQueueEntry
 
 
@@ -31,7 +32,7 @@ class AcceleratorIO:
         demands from accelerators).
         """
         entry = yield mq.pop_rx()
-        yield self.env.timeout(self.local_latency)
+        yield self.env.charge(self.local_latency)
         self.received += 1
         if entry.request_msg is not None:
             entry.request_msg.meta["t_accel_start"] = self.env.now
@@ -45,8 +46,6 @@ class AcceleratorIO:
         the SNIC can route the response to the right client.  Client
         mqueues need no addressing — their destination is static.
         """
-        from ..net.packet import payload_size
-
         nbytes = payload_size(payload) if size is None else size
         entry = MQueueEntry(
             payload=payload, size=nbytes, error=error,
@@ -54,7 +53,7 @@ class AcceleratorIO:
         if entry.request_msg is not None:
             entry.request_msg.meta["t_accel_done"] = self.env.now
         # Local write of payload+metadata, then the control register.
-        yield self.env.timeout(self.local_latency)
+        yield self.env.charge(self.local_latency)
         yield mq.push_tx(entry)
         mq.ring_doorbell()
         self.sent += 1

@@ -14,7 +14,19 @@ Runs on the SNIC and owns all RDMA access to one accelerator's mqueues:
   fetch pending responses, and hands them to the forwarder.  Sweeps
   repeat at the configured interval while work remains.
 
-Per §5.1 all mqueues of one accelerator share a single RC QP.
+Per §5.1 all mqueues of one accelerator share a single RC QP — so the
+manager *is* the per-QP delivery worker.  Ingress used to spawn a
+fresh ``Process`` (plus generator, init event, name string, and
+termination event) per delivered message; at saturation that is
+millions of allocations charging nothing but the allocator.  Delivery
+now runs as a small callback state machine (:class:`_DeliveryOp`)
+whose op records are pooled on the manager.  A *single* blocking
+worker coroutine would serialize QP arbitration and kill the op-level
+pipelining the RDMA engine models, so the state machines keep the
+exact event sequence of the old per-message processes — one URGENT
+kick, then request → occupancy → release → latency per RDMA op —
+which keeps results bit-identical under a fixed seed while spawning
+zero processes per message.
 """
 
 from ..errors import ConfigError
@@ -22,8 +34,221 @@ from ..sim import Store
 from .mqueue import METADATA_BYTES, MQueueEntry
 
 
+class _DeliveryOp:
+    """One in-flight ingress delivery on the manager's QP.
+
+    Mirrors the retired ``_rdma_deliver`` generator step for step, as
+    plain callbacks on pooled events: for each RDMA op in the plan,
+    claim the engine's issue slot, hold it for the wire occupancy,
+    release, then let the op latency elapse in the pipeline.  The record
+    itself is recycled onto ``manager._op_pool`` after the final op.
+    """
+
+    __slots__ = ("manager", "mq", "msg", "entry", "plan", "index", "request")
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.mq = None
+        self.msg = None
+        self.entry = None
+        self.plan = None
+        self.index = 0
+        self.request = None
+
+    def start(self, mq, msg):
+        self.mq = mq
+        self.msg = msg
+        # URGENT kick at the current time: the exact schedule slot the
+        # per-message Process's init event used to occupy.
+        self.manager.env._kick(self._begin)
+
+    def _begin(self, _event):
+        manager = self.manager
+        msg = self.msg
+        self.entry = MQueueEntry(payload=msg.payload, size=msg.size,
+                                 request_msg=msg)
+        self.plan = manager._plan_ops(msg.size)
+        self.index = 0
+        self._post()
+
+    def _post(self):
+        """Claim the engine's issue slot for the current op."""
+        request = self.manager.engine._issue.request()
+        self.request = request
+        request.callbacks.append(self._granted)
+
+    def _granted(self, _event):
+        occupancy = self.plan[self.index][0]
+        self.manager.env.defer(occupancy, self._occupied)
+
+    def _occupied(self, _event):
+        # Release before scheduling the latency leg, exactly like the
+        # old `with request: yield occupancy` block: a queued op (or the
+        # egress sweep) grabs the issue slot first.
+        manager = self.manager
+        self.request.release()
+        self.request = None
+        _, latency, nbytes = self.plan[self.index]
+        qp = manager.qp
+        qp.ops += 1
+        if nbytes is not None:
+            qp.bytes_moved += nbytes
+        manager.engine.ops_posted += 1
+        manager.env.defer(latency, self._op_done)
+
+    def _op_done(self, _event):
+        self.index += 1
+        if self.index < len(self.plan):
+            self._post()
+            return
+        manager = self.manager
+        manager.deliveries += 1
+        msg = self.msg
+        if msg.meta is not None:
+            msg.meta["t_delivered"] = manager.env.now
+        mq, entry = self.mq, self.entry
+        self.mq = self.msg = self.entry = self.plan = None
+        if len(manager._op_pool) < manager.OP_POOL_CAP:
+            manager._op_pool.append(self)
+        mq.complete_rx(entry)
+
+
+class _PollerOp:
+    """The egress doorbell-poll loop as a callback state machine.
+
+    Mirrors the retired ``_tx_poll_loop``/``_sweep_and_drain``/``_sweep``
+    generator trio step for step: doorbell wait, per-sweep scan cost at
+    egress core priority, the notification-region RDMA read, the bulk
+    ring read, forwarder hand-off, and the inter-sweep pacing charge —
+    each consuming the same schedule slots in the same order.
+    """
+
+    __slots__ = ("manager", "request", "duration", "nbytes", "pending",
+                 "stage")
+
+    def __init__(self, manager):
+        self.manager = manager
+        self.request = None
+        self.duration = 0.0
+        self.nbytes = 0
+        self.pending = None
+        self.stage = 0
+        # URGENT kick at now: the slot the poller Process's init used.
+        manager.env._kick(self._begin)
+
+    def _begin(self, _event):
+        self._arm()
+
+    def _arm(self):
+        """Sleep until an accelerator rings a TX doorbell."""
+        self.manager._doorbells.get().callbacks.append(self._on_doorbell)
+
+    def _on_doorbell(self, _get):
+        self.manager._drain_doorbells()
+        self._sweep()
+
+    def _sweep(self):
+        manager = self.manager
+        manager.sweeps += 1
+        workers = manager.workers
+        scan_cost = (manager.profile.mqueue_visit_cost
+                     * max(1, len(manager.mqueues)))
+        # run_compute(scan_cost, priority=-1): a plain charge once granted.
+        self.duration = scan_cost / workers.profile.speed_factor
+        req = workers._res.request(-1)
+        self.request = req
+        req.callbacks.append(self._scan_granted)
+
+    def _scan_granted(self, _event):
+        charge = self.manager.env.charge(self.duration)
+        charge.callbacks.append(self._scan_charged)
+
+    def _scan_charged(self, _event):
+        self.request.release()
+        self.request = None
+        manager = self.manager
+        # Doorbells are *discovered* by reading the notification region
+        # over RDMA — one read round trip per sweep (§4.3: "both the
+        # accelerator and the SNIC use polling").
+        self.stage = 1
+        self._read(4 * max(1, len(manager.mqueues)))
+
+    # engine.read(qp, nbytes) as callbacks: claim the issue slot, hold
+    # it for the wire occupancy, release, then the round-trip latency.
+
+    def _read(self, nbytes):
+        self.nbytes = nbytes
+        req = self.manager.engine._issue.request()
+        self.request = req
+        req.callbacks.append(self._read_granted)
+
+    def _read_granted(self, _event):
+        manager = self.manager
+        charge = manager.env.charge(manager.engine._occupancy(self.nbytes))
+        charge.callbacks.append(self._read_occupied)
+
+    def _read_occupied(self, _event):
+        manager = self.manager
+        self.request.release()
+        self.request = None
+        engine = manager.engine
+        qp = manager.qp
+        qp.ops += 1
+        qp.bytes_moved += self.nbytes
+        engine.ops_posted += 1
+        latency = engine.profile.op_latency * 2
+        if qp.remote:
+            latency += engine.profile.remote_extra_latency * 2
+        manager.env.charge(latency).callbacks.append(self._read_done)
+
+    def _read_done(self, _event):
+        manager = self.manager
+        if self.stage == 1:
+            pending = []
+            total_bytes = 0
+            for mq in manager.mqueues:
+                while True:
+                    entry = mq.tx_ring.try_get()
+                    if entry is None:
+                        break
+                    pending.append((mq, entry))
+                    total_bytes += entry.size + METADATA_BYTES
+            if not pending:
+                self._after_sweep(0)
+                return
+            self.pending = pending
+            self.stage = 2
+            # One RDMA read fetches the freshly produced ring region.
+            self._read(total_bytes)
+            return
+        pending = self.pending
+        self.pending = None
+        sink = manager._tx_sink
+        if sink is None:
+            raise ConfigError("no forwarder installed on %s" % manager.name)
+        for mq, entry in pending:
+            sink(mq, entry)
+        self._after_sweep(len(pending))
+
+    def _after_sweep(self, collected):
+        """Consume the doorbells the sweep satisfied, then pace or sleep."""
+        manager = self.manager
+        manager._drain_doorbells()
+        if collected == 0:
+            self._arm()
+            return
+        charge = manager.env.charge(manager.profile.sweep_interval)
+        charge.callbacks.append(self._interval_done)
+
+    def _interval_done(self, _event):
+        self._sweep()
+
+
 class RemoteMQManager:
     """SNIC-side manager of one accelerator's mqueues."""
+
+    #: max pooled delivery-op records (bounds steady-state in-flight ops)
+    OP_POOL_CAP = 1024
 
     def __init__(self, env, accelerator, qp, workers, lynx_profile,
                  needs_barrier=False, name=None):
@@ -35,10 +260,11 @@ class RemoteMQManager:
         self.needs_barrier = needs_barrier
         self.name = name or "rmq-%s" % getattr(accelerator, "name", "accel")
         self.mqueues = []
+        self._mqueue_set = set()
+        self._op_pool = []
         self._doorbells = Store(env, name="%s-doorbells" % self.name)
         self._tx_sink = None
-        self._poller = env.process(self._tx_poll_loop(),
-                                   name="%s-poller" % self.name)
+        self._poller = _PollerOp(self)
         self.deliveries = 0
         self.sweeps = 0
 
@@ -54,6 +280,7 @@ class RemoteMQManager:
             raise ConfigError("mqueue %s already registered" % mq.name)
         mq.tx_doorbell = self._doorbells
         self.mqueues.append(mq)
+        self._mqueue_set.add(mq)
         return mq
 
     def on_tx(self, callback):
@@ -69,78 +296,46 @@ class RemoteMQManager:
         asynchronously), False if the ring was full and the message was
         dropped — UDP semantics under overload.
         """
-        if mq not in self.mqueues:
+        if mq not in self._mqueue_set:
             raise ConfigError("mqueue %s is not managed by %s" % (mq.name, self.name))
         if not mq.claim_rx_slot():
             return False
-        self.env.process(self._rdma_deliver(mq, msg),
-                         name="%s-deliver" % self.name)
+        pool = self._op_pool
+        op = pool.pop() if pool else _DeliveryOp(self)
+        op.start(mq, msg)
         return True
 
-    def _rdma_deliver(self, mq, msg):
-        entry = MQueueEntry(payload=msg.payload, size=msg.size,
-                            request_msg=msg)
-        nbytes = msg.size + METADATA_BYTES
+    def _plan_ops(self, size):
+        """The RDMA op sequence delivering a *size*-byte message.
+
+        Each entry is ``(occupancy, latency, accounted_bytes)``;
+        ``accounted_bytes`` is None for the zero-byte barrier read.
+        """
+        engine = self.engine
+        profile = engine.profile
+        write_latency = profile.op_latency
+        if self.qp.remote:
+            write_latency += profile.remote_extra_latency
         if self.needs_barrier or not self.profile.coalesce_metadata:
             # Three transactions: payload, write barrier, doorbell.
-            yield from self.engine.write(self.qp, msg.size)
+            from ..net.rdma import _MIN_OP_GAP
+            plan = [(engine._occupancy(size), write_latency, size)]
             if self.needs_barrier:
-                yield from self.engine.barrier_read(self.qp)
-            yield from self.engine.write(self.qp, METADATA_BYTES)
-        else:
-            # Metadata coalesced with the payload: one RDMA write, and
-            # the doorbell (last word) becomes visible after the data.
-            yield from self.engine.write(self.qp, nbytes)
-        self.deliveries += 1
-        if msg.meta is not None:
-            msg.meta["t_delivered"] = self.env.now
-        mq.complete_rx(entry)
+                plan.append((_MIN_OP_GAP, profile.barrier_latency, None))
+            plan.append((engine._occupancy(METADATA_BYTES), write_latency,
+                         METADATA_BYTES))
+            return plan
+        # Metadata coalesced with the payload: one RDMA write, and
+        # the doorbell (last word) becomes visible after the data.
+        nbytes = size + METADATA_BYTES
+        return [(engine._occupancy(nbytes), write_latency, nbytes)]
 
     # -- egress ----------------------------------------------------------------------
-
-    def _tx_poll_loop(self):
-        env = self.env
-        while True:
-            yield self._doorbells.get()
-            self._drain_doorbells()
-            while True:
-                collected = yield from self._sweep()
-                # Tokens raised before/during the sweep are satisfied by
-                # it (a sweep visits every ring), so consume them before
-                # deciding whether to go back to sleep.
-                self._drain_doorbells()
-                if collected == 0 and len(self._doorbells) == 0:
-                    break
-                yield env.timeout(self.profile.sweep_interval)
+    # The poll loop itself lives in :class:`_PollerOp`.  Doorbell tokens
+    # raised before or during a sweep are covered by it (a sweep visits
+    # every ring), so the op drains the store right after each sweep —
+    # a zero-collect sweep therefore re-arms on an empty doorbell store.
 
     def _drain_doorbells(self):
         while self._doorbells.try_get() is not None:
             pass
-
-    def _sweep(self):
-        """One doorbell sweep over every ring of this accelerator."""
-        self.sweeps += 1
-        scan_cost = self.profile.mqueue_visit_cost * max(1, len(self.mqueues))
-        yield from self.workers.run_compute(scan_cost, priority=-1)
-        # Doorbells are *discovered* by reading the notification region
-        # over RDMA — one read round trip per sweep (§4.3: "both the
-        # accelerator and the SNIC use polling").
-        yield from self.engine.read(self.qp, 4 * max(1, len(self.mqueues)))
-        pending = []
-        total_bytes = 0
-        for mq in self.mqueues:
-            while True:
-                entry = mq.tx_ring.try_get()
-                if entry is None:
-                    break
-                pending.append((mq, entry))
-                total_bytes += entry.size + METADATA_BYTES
-        if not pending:
-            return 0
-        # One RDMA read fetches the freshly produced ring region.
-        yield from self.engine.read(self.qp, total_bytes)
-        if self._tx_sink is None:
-            raise ConfigError("no forwarder installed on %s" % self.name)
-        for mq, entry in pending:
-            self._tx_sink(mq, entry)
-        return len(pending)

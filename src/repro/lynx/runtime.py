@@ -7,11 +7,27 @@ goes idle**.  After ``start_gpu_service`` returns, no host core appears
 on the data path; tests assert this.
 """
 
-from ..errors import ConfigError
-from ..net.packet import TCP, UDP
+from heapq import heappush
+
+from ..errors import AcceleratorError, ConfigError, SimulationError
+from ..net.packet import TCP, UDP, payload_size
+from ..sim import Interrupt
+from ..sim.events import Event, NORMAL, PENDING, URGENT
 from .iolib import AcceleratorIO
-from .mqueue import CLIENT, MQueue, SERVER
+from .mqueue import CLIENT, MQueue, MQueueEntry, SERVER
 from .rmq import RemoteMQManager
+
+
+def _uses_stock_handle(app, accel):
+    """True when *app* serves through the unmodified ``ServerApp.handle``
+    (compute + one GPU charge) on a real :class:`~repro.hw.gpu.GPU` —
+    the preconditions for the zero-process :class:`_ThreadblockOp` fast
+    path.  Other accelerators (the VCA adapter) bring their own
+    ``persistent_kernel`` semantics and keep the generator loop."""
+    from ..apps.base import ServerApp  # local: apps imports lynx.iolib
+    from ..hw.gpu import GPU
+
+    return isinstance(accel, GPU) and type(app).handle is ServerApp.handle
 
 
 class AppContext:
@@ -33,11 +49,11 @@ class AppContext:
         executes inline in the calling threadblock.
         """
         if self.gpu is None:
-            yield self.env.timeout(duration)
+            yield self.env.charge(duration)
         elif dynamic_parallelism:
             yield from self.gpu.child_launch(duration)
         else:
-            yield self.env.timeout(self.gpu.scaled(duration))
+            yield self.env.charge(self.gpu.scaled(duration))
 
     def call(self, backend, payload):
         """Generator: RPC to a backend over this context's client mqueue.
@@ -173,11 +189,26 @@ class LynxRuntime:
             contexts.append(AppContext(self.env, io, gpu, mq,
                                        client_mqs=client_mqs, tb_index=tb))
 
-        def body_factory(tb):
-            return _service_loop(self.env, io, app, contexts[tb])
+        if _uses_stock_handle(app, gpu):
+            # Zero-process fast path: one callback state machine per
+            # threadblock, mirroring persistent_kernel + _service_loop
+            # event for event (see _ThreadblockOp).
+            if n_mqueues > gpu.profile.max_threadblocks:
+                raise AcceleratorError(
+                    "%s supports at most %d resident threadblocks, asked "
+                    "for %d" % (gpu.name, gpu.profile.max_threadblocks,
+                                n_mqueues))
+            procs = [_ThreadblockOp(self.env, gpu, io, app, contexts[tb])
+                     for tb in range(n_mqueues)]
+            gpu.kernels_launched += 1
+        else:
+            # Apps with a custom handle() coroutine (backend RPCs,
+            # pipeline relays) keep the interruptible generator loop.
+            def body_factory(tb):
+                return _service_loop(self.env, io, app, contexts[tb])
 
-        procs = gpu.persistent_kernel(n_mqueues, body_factory,
-                                      name="%s-%s" % (gpu.name, app.name))
+            procs = gpu.persistent_kernel(n_mqueues, body_factory,
+                                          name="%s-%s" % (gpu.name, app.name))
         return GpuService(gpu, manager, mqs, contexts, procs)
 
 
@@ -189,16 +220,239 @@ class LynxRuntime:
         return (yield from start_pipeline(self, stages, port, proto=proto))
 
 
-def _service_loop(env, io, app, ctx):
-    """One threadblock's request loop (runs until killed)."""
-    from ..sim import Interrupt
+class _ThreadblockOp(Event):
+    """One persistent-kernel threadblock as a callback state machine.
 
+    Replaces ``gpu._persistent_block`` + ``_service_loop`` for apps on
+    the stock ``ServerApp.handle`` path (compute + one GPU charge per
+    request), consuming the exact same schedule slots in the same
+    order: spawn kick, SM-slot claim, then per request — RX-ring pop,
+    local-poll charge, the kernel charge (for dynamic parallelism: the
+    device-launch charge, a child SM-slot claim, the kernel charge,
+    slot release), local-write charge, TX-ring put.
+
+    The op *is* an event, like :class:`Process`: ``interrupt()`` works
+    (failure injection), delivering through an URGENT event and then
+    scheduling the termination event — the same two schedule slots the
+    Process machinery used.  Interrupt mid-kernel releases the child SM
+    slot (the generator's ``finally`` did); the persistent slot is
+    deliberately leaked, exactly as the dead generator leaked it.
+    """
+
+    __slots__ = ("gpu", "io", "app", "ctx", "mq", "entry", "result", "out",
+                 "_target", "_target_cb", "_dp_req", "_dp_slot")
+
+    def __init__(self, env, gpu, io, app, ctx):
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self.gpu = gpu
+        self.io = io
+        self.app = app
+        self.ctx = ctx
+        self.mq = ctx.mq
+        self.entry = None
+        self.result = None
+        self.out = None
+        self._target = None
+        self._target_cb = None
+        self._dp_req = None
+        self._dp_slot = None
+        env._kick(self._begin)
+
+    @property
+    def is_alive(self):
+        return self._value is PENDING
+
+    def interrupt(self, cause=None):
+        """Kill the threadblock at the current time (failure injection)."""
+        if self._value is not PENDING:
+            raise SimulationError("cannot interrupt dead process %r" % self)
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._target_cb)
+            except ValueError:
+                pass
+        self._target = None
+        # Delivery vehicle: same URGENT pre-defused event _InterruptEvent
+        # used, same eid consumed now.
+        ev = Event(self.env)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev.callbacks.append(self._die)
+        self.env.schedule(ev, delay=0, priority=URGENT)
+
+    def _die(self, _event):
+        # Mirror the generator unwinding: only the child-kernel slot is
+        # protected by a finally; everything else dies with the frame.
+        slot = self._dp_slot
+        if slot is not None:
+            self._dp_slot = None
+            slot.release()
+        self._dp_req = None
+        self.entry = self.result = self.out = None
+        # Process.succeed(None): the termination event.
+        self._ok = True
+        self._value = None
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env.now, NORMAL, eid, self))
+
+    def _wait(self, event, cb):
+        self._target = event
+        self._target_cb = cb
+        event.callbacks.append(cb)
+
+    # -- states -------------------------------------------------------------
+
+    def _begin(self, _event):
+        # _persistent_block: claim the threadblock's SM slot forever.
+        self._wait(self.gpu.sm_slots.request(), self._slot_granted)
+
+    def _slot_granted(self, _event):
+        self._arm()
+
+    def _arm(self):
+        self._wait(self.mq.pop_rx(), self._on_entry)
+
+    def _on_entry(self, get):
+        self.entry = get._value
+        self._wait(self.env.charge(self.io.local_latency),
+                   self._local_charged)
+
+    def _local_charged(self, _event):
+        io = self.io
+        io.received += 1
+        entry = self.entry
+        req_msg = entry.request_msg
+        if req_msg is not None:
+            req_msg.meta["t_accel_start"] = self.env.now
+        app = self.app
+        self.result = app.compute(entry.payload)
+        gpu = self.gpu
+        if gpu is None:
+            self._wait(self.env.charge(app.gpu_duration), self._computed)
+        elif app.use_dynamic_parallelism:
+            self._wait(self.env.charge(gpu.profile.device_launch_latency),
+                       self._dp_launched)
+        else:
+            self._wait(self.env.charge(gpu.scaled(app.gpu_duration)),
+                       self._computed)
+
+    def _dp_launched(self, _event):
+        req = self.gpu.sm_slots.request()
+        self._dp_req = req
+        self._wait(req, self._dp_granted)
+
+    def _dp_granted(self, _event):
+        gpu = self.gpu
+        gpu.kernels_launched += 1
+        self._dp_slot = self._dp_req
+        self._dp_req = None
+        self._wait(self.env.charge(gpu.scaled(self.app.gpu_duration)),
+                   self._dp_charged)
+
+    def _dp_charged(self, _event):
+        slot = self._dp_slot
+        self._dp_slot = None
+        slot.release()
+        self._computed(_event)
+
+    def _computed(self, _event):
+        result = self.result
+        entry = self.entry
+        self.entry = self.result = None
+        if result is None:
+            self._arm()
+            return
+        req_msg = entry.request_msg
+        out = MQueueEntry(payload=result, size=payload_size(result),
+                          error=0, request_msg=req_msg)
+        if req_msg is not None:
+            req_msg.meta["t_accel_done"] = self.env.now
+        self.out = out
+        self._wait(self.env.charge(self.io.local_latency),
+                   self._out_charged)
+
+    def _out_charged(self, _event):
+        out = self.out
+        self.out = None
+        self._wait(self.mq.push_tx(out), self._pushed)
+
+    def _pushed(self, _event):
+        self.mq.ring_doorbell()
+        self.io.sent += 1
+        self._arm()
+
+
+def _service_loop(env, io, app, ctx):
+    """One threadblock's request loop (runs until killed).
+
+    The loop stays a real :class:`Process` so failure injection can
+    ``interrupt()`` it, but the steady-state request chain is flattened:
+    :meth:`AcceleratorIO.recv`/:meth:`~AcceleratorIO.send` are inlined
+    (their bodies, event for event), and apps that use the stock
+    ``ServerApp.handle`` skip the ``handle``/``ctx.compute`` generator
+    pair entirely.  Generator creation consumes no schedule slots, so
+    the flattening is invisible to the event order — it only removes
+    four heap allocations and a yield-from trampoline per request.
+    """
+    from ..apps.base import ServerApp
+    from ..net.packet import payload_size
+    from ..sim import Interrupt
+    from .mqueue import MQueueEntry
+
+    mq = ctx.mq
+    gpu = ctx.gpu
+    local = io.local_latency
+    charge = env.charge
+    pop_rx = mq.pop_rx
+    push_tx = mq.push_tx
+    stock_handle = type(app).handle is ServerApp.handle
     try:
         while True:
-            entry = yield from io.recv(ctx.mq)
-            result = yield from app.handle(ctx, entry)
+            # -- io.recv(mq), inlined --
+            entry = yield pop_rx()
+            yield charge(local)
+            io.received += 1
+            req_msg = entry.request_msg
+            if req_msg is not None:
+                req_msg.meta["t_accel_start"] = env.now
+            # -- app.handle(ctx, entry) --
+            if stock_handle:
+                result = app.compute(entry.payload)
+                if gpu is None:
+                    yield charge(app.gpu_duration)
+                elif app.use_dynamic_parallelism:
+                    # gpu.child_launch(duration) with one threadblock,
+                    # inlined (the LeNet server's per-request launch)
+                    yield charge(gpu.profile.device_launch_latency)
+                    slot = gpu.sm_slots.request()
+                    yield slot
+                    gpu.kernels_launched += 1
+                    try:
+                        yield charge(gpu.scaled(app.gpu_duration))
+                    finally:
+                        slot.release()
+                else:
+                    yield charge(gpu.scaled(app.gpu_duration))
+            else:
+                result = yield from app.handle(ctx, entry)
             if result is not None:
-                yield from io.send(ctx.mq, result, reply_to=entry)
+                # -- io.send(mq, result, reply_to=entry), inlined --
+                out = MQueueEntry(payload=result, size=payload_size(result),
+                                  error=0, request_msg=req_msg)
+                if req_msg is not None:
+                    req_msg.meta["t_accel_done"] = env.now
+                yield charge(local)
+                yield push_tx(out)
+                mq.ring_doorbell()
+                io.sent += 1
     except Interrupt:
         # failure injection: the threadblock dies quietly; upstream
         # stages observe it through backend timeouts (§5.1 metadata)

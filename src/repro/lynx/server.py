@@ -8,6 +8,16 @@ point of the design.
 
 All CPU work is charged on the SNIC's worker core pool, so core
 contention (7 slow ARM cores vs 1-6 Xeon cores) falls out naturally.
+
+The per-message serving path (rx -> stack -> dispatch -> RDMA post, and
+doorbell -> forward -> stack -> wire on egress) used to run as generator
+coroutines; at saturation the generator frames and ``Process``/``Task``
+resumptions dominated simulator wall-clock.  Both paths now run as
+callback state machines (:class:`_RxOp`, :class:`_TxOp`) that mirror
+the retired generators *event for event* — every resource request,
+charge and kick consumes the same schedule slot in the same order — so
+simulated results are bit-identical under a fixed seed while the hot
+path allocates no frames and spawns no processes per message.
 """
 
 from ..errors import ConfigError, NetworkError
@@ -32,8 +42,300 @@ class _PortBinding:
         self.responses = RateMeter(env, name="port%d-resps" % port)
 
 
+class _RxOp:
+    """One worker core's ingress loop as a callback state machine.
+
+    Mirrors the retired ``_rx_loop``/``_handle_rx`` generator pair step
+    for step: NIC recv -> stack rx cost -> dispatch cost -> RDMA post
+    cost -> delivery, with each pool occupancy expressed as the same
+    request/charge/release event triple ``CorePool.run_calibrated`` /
+    ``run_compute`` scheduled.  One op per worker core lives for the
+    whole simulation, so steady-state ingress allocates nothing.
+    """
+
+    __slots__ = ("server", "env", "pool", "msg", "mq", "manager",
+                 "binding", "request", "duration", "mi", "ws", "token")
+
+    def __init__(self, server):
+        self.server = server
+        self.env = server.env
+        self.pool = server.workers
+        self.msg = None
+        self.mq = None
+        self.manager = None
+        self.binding = None
+        self.request = None
+        self.duration = 0.0
+        self.mi = 0.0
+        self.ws = 0
+        self.token = None
+
+    def start(self):
+        # URGENT kick at the current time: the exact schedule slot the
+        # rx-loop Process's init kick used to occupy.
+        self.env._kick(self._begin)
+
+    def _begin(self, _event):
+        self._arm()
+
+    def _arm(self):
+        """Wait for the next RX-ring message (the loop's ``nic.recv()``)."""
+        get = self.server.nic.rx.get()
+        get.callbacks.append(self._on_msg)
+
+    def _on_msg(self, get):
+        server = self.server
+        server.nic.rx_rate.count += 1       # inlined nic.recv() rate tick
+        msg = get._value
+        if msg.kind == "tcp-synack":
+            waiter = server._synack_waiters.pop(msg.conn.conn_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+            self._arm()
+            return
+        if server.stack.handle_control(msg, server.nic):
+            self._arm()
+            return
+        # stack.process_rx: calibrated rx cost on the worker pool.
+        self.msg = msg
+        self._acquire_calibrated(server.stack.rx_cost(msg), self._rx_granted)
+
+    # -- pool occupancy (twins of CorePool.run_calibrated/_timed) ----------
+
+    def _acquire_calibrated(self, duration, granted):
+        pool = self.pool
+        self.duration = duration
+        self.mi = pool.default_memory_intensity
+        self.ws = pool.default_working_set
+        req = pool._res.request(0)
+        self.request = req
+        req.callbacks.append(granted)
+
+    def _charge_calibrated(self, charged):
+        llc = self.pool.llc
+        duration = self.duration
+        if llc is None or self.ws <= 0:
+            if llc is not None and self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        else:
+            # _timed leg: hold LLC occupancy for the span of the charge
+            # (occupy before computing the penalty, like the generator).
+            self.token = llc.occupy(self.ws)
+            if self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        self.env.charge(duration).callbacks.append(charged)
+
+    def _release_calibrated(self):
+        token = self.token
+        if token is not None:
+            self.pool.llc.release(token)
+            self.token = None
+        self.request.release()
+        self.request = None
+
+    # -- phases ------------------------------------------------------------
+
+    def _rx_granted(self, _event):
+        self._charge_calibrated(self._rx_charged)
+
+    def _rx_charged(self, _event):
+        self._release_calibrated()
+        server = self.server
+        msg = self.msg
+        if msg.proto == TCP and msg.conn is not None:
+            msg.conn.deliver(msg)
+        msg.meta["t_rx_done"] = self.env.now
+        if server.tracer.enabled:
+            server.tracer.emit(server.name, "rx", msg.msg_id)
+        # Backend response for a client mqueue?
+        client_mq = server._client_mq_by_port.get(msg.dst.port)
+        if client_mq is not None:
+            server._pending_backend.pop(msg.meta.get("in_reply_to"), None)
+            self._dispatch(client_mq)
+            return
+        binding = server._ports.get(msg.dst.port)
+        if binding is None or not binding.mqueues:
+            server.dropped += 1
+            self.msg = None
+            self._arm()
+            return
+        server.requests.count += 1        # inlined RateMeter.tick()
+        binding.requests.count += 1
+        self.binding = binding
+        # Lynx's own dispatcher code scales with the platform's core
+        # speed (run_compute with no cache args: a plain charge).
+        pool = self.pool
+        self.duration = server.profile.dispatch_cost / pool.profile.speed_factor
+        req = pool._res.request(0)
+        self.request = req
+        req.callbacks.append(self._cmp_granted)
+
+    def _cmp_granted(self, _event):
+        self.env.charge(self.duration).callbacks.append(self._cmp_charged)
+
+    def _cmp_charged(self, _event):
+        self.request.release()
+        self.request = None
+        server = self.server
+        binding = self.binding
+        self.binding = None
+        msg = self.msg
+        mq = binding.policy.select(binding.mqueues, msg)
+        msg.meta["t_dispatched"] = self.env.now
+        if server.tracer.enabled:
+            server.tracer.emit(server.name, "dispatch", mq.name)
+        self._dispatch(mq)
+
+    def _dispatch(self, mq):
+        """The retired ``_dispatch_to``: post cost, then RDMA delivery."""
+        self.mq = mq
+        manager = self.server._manager_of(mq)
+        self.manager = manager
+        # CPU cost of posting the one-sided RDMA write (§5.1: <1us).
+        self._acquire_calibrated(manager.engine.profile.post_cost,
+                                 self._post_granted)
+
+    def _post_granted(self, _event):
+        self._charge_calibrated(self._post_charged)
+
+    def _post_charged(self, _event):
+        self._release_calibrated()
+        # Ring-full drops are counted once, by the mqueue itself;
+        # ``server.dropped`` tracks only undeliverable traffic.
+        manager, mq, msg = self.manager, self.mq, self.msg
+        self.manager = self.mq = self.msg = None
+        manager.deliver(mq, msg)
+        self._arm()
+
+
+class _TxOp:
+    """One in-flight egress (accelerator -> client) forward.
+
+    Mirrors the retired ``_handle_tx`` detached task step for step:
+    forward cost at egress priority, response build, stack tx cost,
+    then wire serialization on the NIC TX resource.  Op records are
+    pooled on the server (``_tx_op_pool``).
+    """
+
+    __slots__ = ("server", "env", "pool", "mq", "entry", "response",
+                 "request", "duration", "mi", "ws", "token")
+
+    def __init__(self, server):
+        self.server = server
+        self.env = server.env
+        self.pool = server.workers
+        self.mq = None
+        self.entry = None
+        self.response = None
+        self.request = None
+        self.duration = 0.0
+        self.mi = 0.0
+        self.ws = 0
+        self.token = None
+
+    def start(self, mq, entry):
+        self.mq = mq
+        self.entry = entry
+        # URGENT kick at now: the slot the detached task's kick consumed.
+        self.env._kick(self._begin)
+
+    def _begin(self, _event):
+        # Egress runs at higher core priority than ingress: the real
+        # forwarder round-robins and is never starved by a request flood.
+        pool = self.pool
+        self.duration = (self.server.profile.forward_cost
+                         / pool.profile.speed_factor)
+        req = pool._res.request(-1)
+        self.request = req
+        req.callbacks.append(self._fwd_granted)
+
+    def _fwd_granted(self, _event):
+        self.env.charge(self.duration).callbacks.append(self._fwd_charged)
+
+    def _fwd_charged(self, _event):
+        self.request.release()
+        self.request = None
+        server = self.server
+        mq, entry = self.mq, self.entry
+        response = server._build_response(mq, entry)
+        if response is None:
+            self._finish()
+            return
+        self.response = response
+        if server.collect_breakdowns and entry.request_msg is not None:
+            stamps = dict(entry.request_msg.meta)
+            stamps["t_tx_ready"] = self.env.now
+            response.meta["breakdown"] = {
+                k: v for k, v in stamps.items() if k.startswith("t_")}
+        if response.proto == TCP and response.conn is not None:
+            response.meta["tcp_seq"] = response.conn.next_seq(response.src)
+        # run_calibrated(stack.tx_cost, priority=-1) on the worker pool.
+        pool = self.pool
+        self.duration = server.stack.tx_cost(response)
+        self.mi = pool.default_memory_intensity
+        self.ws = pool.default_working_set
+        req = pool._res.request(-1)
+        self.request = req
+        req.callbacks.append(self._tx_granted)
+
+    def _tx_granted(self, _event):
+        llc = self.pool.llc
+        duration = self.duration
+        if llc is None or self.ws <= 0:
+            if llc is not None and self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        else:
+            self.token = llc.occupy(self.ws)
+            if self.mi > 0:
+                duration *= llc.penalty(self.mi)
+        self.env.charge(duration).callbacks.append(self._tx_charged)
+
+    def _tx_charged(self, _event):
+        token = self.token
+        if token is not None:
+            self.pool.llc.release(token)
+            self.token = None
+        self.request.release()
+        self.request = None
+        server = self.server
+        server.responses.count += 1       # inlined RateMeter.tick()
+        mq = self.mq
+        binding = server._ports.get(mq.bound_port) if mq.kind == SERVER else None
+        if binding is not None:
+            binding.responses.count += 1
+        if server.tracer.enabled:
+            server.tracer.emit(server.name, "tx", self.response.msg_id)
+        # nic.send(response): serialize out of the port.
+        req = server.nic._tx.request()
+        self.request = req
+        req.callbacks.append(self._wire_granted)
+
+    def _wire_granted(self, _event):
+        nic = self.server.nic
+        charge = self.env.charge(self.response.wire_size / nic.link_rate)
+        charge.callbacks.append(self._wire_charged)
+
+    def _wire_charged(self, _event):
+        self.request.release()
+        self.request = None
+        nic = self.server.nic
+        nic.tx_rate.count += 1            # inlined RateMeter.tick()
+        response = self.response
+        nic.network.deliver(response)
+        self._finish()
+
+    def _finish(self):
+        self.mq = self.entry = self.response = None
+        pool = self.server._tx_op_pool
+        if len(pool) < LynxServer.TX_OP_POOL_CAP:
+            pool.append(self)
+
+
 class LynxServer:
     """The SNIC-resident network server + dispatcher + forwarder."""
+
+    #: max pooled egress-op records (bounds steady-state in-flight TX)
+    TX_OP_POOL_CAP = 1024
 
     def __init__(self, env, nic, workers, stack_profile, lynx_profile,
                  name=None, tracer=None):
@@ -42,11 +344,16 @@ class LynxServer:
         self.workers = workers
         self.profile = lynx_profile
         self.tracer = tracer or NullTracer()
+        #: opt-in per-response latency-stamp collection (see
+        #: experiments/breakdown.py); off by default — it copies the
+        #: request's meta dict into every response.
+        self.collect_breakdowns = False
         self.name = name or "lynx@%s" % nic.ip
         self.stack = NetworkStack(env, workers, stack_profile,
                                   name="%s-stack" % self.name)
         self._ports = {}
         self._managers = []
+        self._manager_by_mq = {}
         self._client_mq_by_port = {}
         self._next_client_port = 9000
         self._synack_waiters = {}
@@ -54,11 +361,12 @@ class LynxServer:
         self.requests = RateMeter(env, name="%s-reqs" % self.name)
         self.responses = RateMeter(env, name="%s-resps" % self.name)
         self.dropped = 0
+        self._tx_op_pool = []
         # One ingress loop per worker core: admission is bounded by core
         # availability, and overload is shed at the NIC RX ring instead
         # of building an unbounded software backlog.
-        for i in range(workers.count):
-            env.process(self._rx_loop(), name="%s-rx%d" % (self.name, i))
+        for _ in range(workers.count):
+            _RxOp(self).start()
 
     @property
     def ip(self):
@@ -134,86 +442,26 @@ class LynxServer:
         return binding.requests, binding.responses
 
     def _manager_of(self, mq):
-        for manager in self._managers:
-            if mq in manager.mqueues:
-                return manager
-        raise ConfigError("mqueue %s has no manager on %s" % (mq.name, self.name))
-
-    # -- ingress ------------------------------------------------------------------
-
-    def _rx_loop(self):
-        while True:
-            msg = yield self.nic.recv()
-            yield from self._handle_rx(msg)
-
-    def _handle_rx(self, msg):
-        if msg.kind == "tcp-synack":
-            waiter = self._synack_waiters.pop(msg.conn.conn_id, None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(msg)
-            return
-        if self.stack.handle_control(msg, self.nic):
-            return
-        yield from self.stack.process_rx(msg)
-        msg.meta["t_rx_done"] = self.env.now
-        self.tracer.emit(self.name, "rx", msg.msg_id)
-        # Backend response for a client mqueue?
-        client_mq = self._client_mq_by_port.get(msg.dst.port)
-        if client_mq is not None:
-            self._pending_backend.pop(msg.meta.get("in_reply_to"), None)
-            yield from self._dispatch_to(client_mq, msg)
-            return
-        binding = self._ports.get(msg.dst.port)
-        if binding is None or not binding.mqueues:
-            self.dropped += 1
-            return
-        self.requests.tick()
-        binding.requests.tick()
-        # Lynx's own dispatcher code scales with the platform's core
-        # speed (it is ordinary software, unlike the calibrated stack).
-        yield from self.workers.run_compute(self.profile.dispatch_cost)
-        mq = binding.policy.select(binding.mqueues, msg)
-        msg.meta["t_dispatched"] = self.env.now
-        self.tracer.emit(self.name, "dispatch", mq.name)
-        yield from self._dispatch_to(mq, msg)
-
-    def _dispatch_to(self, mq, msg):
-        manager = self._manager_of(mq)
-        # CPU cost of posting the one-sided RDMA write (§5.1: <1us).
-        yield from self.workers.run_calibrated(manager.engine.profile.post_cost)
-        # Ring-full drops are counted once, by the mqueue itself;
-        # ``server.dropped`` tracks only undeliverable traffic
-        # (unknown ports, unsupported messages).
-        manager.deliver(mq, msg)
+        # Cached: this runs per dispatched message, and a linear scan of
+        # managers × mqueues dominated dispatch at high queue counts.
+        manager = self._manager_by_mq.get(mq)
+        if manager is None:
+            for candidate in self._managers:
+                if mq in candidate._mqueue_set:
+                    manager = candidate
+                    break
+            else:
+                raise ConfigError(
+                    "mqueue %s has no manager on %s" % (mq.name, self.name))
+            self._manager_by_mq[mq] = manager
+        return manager
 
     # -- egress --------------------------------------------------------------------
 
     def _on_accelerator_tx(self, mq, entry):
-        self.env.process(self._handle_tx(mq, entry),
-                         name="%s-htx" % self.name)
-
-    def _handle_tx(self, mq, entry):
-        # Egress runs at higher core priority than ingress: the real
-        # forwarder round-robins and is never starved by a request flood.
-        yield from self.workers.run_compute(self.profile.forward_cost,
-                                             priority=-1)
-        response = self._build_response(mq, entry)
-        if response is None:
-            return
-        if entry.request_msg is not None:
-            stamps = dict(entry.request_msg.meta)
-            stamps["t_tx_ready"] = self.env.now
-            response.meta["breakdown"] = {
-                k: v for k, v in stamps.items() if k.startswith("t_")}
-        if response.proto == TCP and response.conn is not None:
-            response.meta["tcp_seq"] = response.conn.next_seq(response.src)
-        yield from self.workers.run_calibrated(self.stack.tx_cost(response),
-                                               priority=-1)
-        self.responses.tick()
-        if mq.kind == SERVER and mq.bound_port in self._ports:
-            self._ports[mq.bound_port].responses.tick()
-        self.tracer.emit(self.name, "tx", response.msg_id)
-        yield from self.nic.send(response)
+        pool = self._tx_op_pool
+        op = pool.pop() if pool else _TxOp(self)
+        op.start(mq, entry)
 
     def _build_response(self, mq, entry):
         if mq.kind == SERVER:
@@ -237,12 +485,11 @@ class LynxServer:
                       conn=mq.conn, kind="request")
         if self.profile.backend_timeout > 0:
             self._pending_backend[msg.msg_id] = mq
-            self.env.process(self._backend_watchdog(mq, msg),
-                             name="%s-watchdog" % self.name)
+            self.env.detached(self._backend_watchdog(mq, msg))
         return msg
 
     def _backend_watchdog(self, mq, msg):
-        yield self.env.timeout(self.profile.backend_timeout)
+        yield self.env.charge(self.profile.backend_timeout)
         if self._pending_backend.pop(msg.msg_id, None) is not None:
             self._deliver_error(mq, ERR_TIMEOUT)
 

@@ -14,8 +14,82 @@ methodology:
 from .. import units
 from ..errors import NetworkError
 from ..sim import LatencyRecorder, RateMeter, Store
-from .packet import Message, TCP, UDP
+from .packet import Address, Message, TCP, UDP
 from .stack import TcpConnection
+
+
+class _SendOp:
+    """One in-flight fire-and-forget send (callback twin of Client.send).
+
+    Mirrors ``env.detached(client.send(msg))`` event for event: the
+    detached task's URGENT kick, then the serialization charge, then
+    delivery.  Records are pooled on the client.
+    """
+
+    __slots__ = ("client", "msg")
+
+    def __init__(self, client):
+        self.client = client
+        self.msg = None
+
+    def start(self, msg):
+        self.msg = msg
+        self.client.env._kick(self._begin)
+
+    def _begin(self, _event):
+        client = self.client
+        msg = self.msg
+        if msg.conn is not None and not msg.kind.startswith("tcp-"):
+            msg.meta["tcp_seq"] = msg.conn.next_seq(msg.src)
+        charge = client.env.charge(
+            client.send_cost + msg.wire_size / client.link_rate)
+        charge.callbacks.append(self._sent)
+
+    def _sent(self, _event):
+        client = self.client
+        msg = self.msg
+        self.msg = None
+        client.sent.count += 1        # inlined RateMeter.tick()
+        pool = client._send_op_pool
+        if len(pool) < 1024:
+            pool.append(self)
+        client.network.deliver(msg)
+
+
+class _ClientRxOp:
+    """The client's response loop as a callback state machine.
+
+    Mirrors the retired ``_rx_loop`` generator process: one RX-store get
+    per message, latency accounting, waiter wake-up, re-arm.
+    """
+
+    __slots__ = ("client",)
+
+    def __init__(self, client):
+        self.client = client
+        # URGENT kick at now: the slot the rx-loop Process's init used.
+        client.env._kick(self._begin)
+
+    def _begin(self, _event):
+        self._arm()
+
+    def _arm(self):
+        self.client.rx.get().callbacks.append(self._on_msg)
+
+    def _on_msg(self, get):
+        client = self.client
+        msg = get._value
+        created = msg.meta.get("request_created_at")
+        if created is not None and msg.kind == "response":
+            client.latency._samples.append(
+                client.env.now - created + client.recv_cost)
+            client.responses.count += 1
+        waiter = client._waiters.pop(msg.meta.get("in_reply_to"), None)
+        if waiter is None and msg.kind == "tcp-synack":
+            waiter = client._waiters.pop(("synack", msg.conn.conn_id), None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(msg)
+        self._arm()
 
 
 class Client:
@@ -41,14 +115,13 @@ class Client:
         self.sent = RateMeter(env, name="%s-sent" % self.name)
         self._waiters = {}
         self._next_port = 40000
+        self._send_op_pool = []
         network.attach(ip, self)
-        env.process(self._rx_loop(), name="%s-rx-loop" % self.name)
+        _ClientRxOp(self)
 
     # -- raw I/O ---------------------------------------------------------------
 
     def _source_address(self):
-        from .packet import Address
-
         self._next_port += 1
         if self._next_port > 65000:
             self._next_port = 40001
@@ -58,22 +131,15 @@ class Client:
         """Generator: serialize *msg* onto the wire."""
         if msg.conn is not None and not msg.kind.startswith("tcp-"):
             msg.meta["tcp_seq"] = msg.conn.next_seq(msg.src)
-        yield self.env.timeout(self.send_cost + msg.wire_size / self.link_rate)
-        self.sent.tick()
+        yield self.env.charge(self.send_cost + msg.wire_size / self.link_rate)
+        self.sent.count += 1          # inlined RateMeter.tick()
         self.network.deliver(msg)
 
-    def _rx_loop(self):
-        while True:
-            msg = yield self.rx.get()
-            created = msg.meta.get("request_created_at")
-            if created is not None and msg.kind == "response":
-                self.latency.record(self.env.now - created + self.recv_cost)
-                self.responses.tick()
-            waiter = self._waiters.pop(msg.meta.get("in_reply_to"), None)
-            if waiter is None and msg.kind == "tcp-synack":
-                waiter = self._waiters.pop(("synack", msg.conn.conn_id), None)
-            if waiter is not None and not waiter.triggered:
-                waiter.succeed(msg)
+    def send_async(self, msg):
+        """Fire-and-forget :meth:`send` (zero-allocation steady state)."""
+        pool = self._send_op_pool
+        op = pool.pop() if pool else _SendOp(self)
+        op.start(msg)
 
     # -- request/response ---------------------------------------------------
 
@@ -138,7 +204,9 @@ class OpenLoopGenerator:
         self.name = name or "openloop->%s" % (dst,)
         self._stopped = False
         self.offered = 0
-        self.process = env.process(self._run(), name=self.name)
+        # Callback state machine standing in for the old arrival Process
+        # (same init kick, same charge per gap, same send kick).
+        env._kick(self._begin)
 
     def stop(self):
         self._stopped = True
@@ -151,22 +219,25 @@ class OpenLoopGenerator:
             return self.client.rng.exponential(self.name, mean)
         return mean
 
-    def _run(self):
+    def _begin(self, _event):
+        if not self._stopped:
+            self.env.charge(self._interarrival()).callbacks.append(self._fire)
+
+    def _fire(self, _event):
+        if self._stopped:
+            return
         env = self.env
-        while not self._stopped:
-            yield env.timeout(self._interarrival())
-            if self._stopped:
-                return
-            payload = self.payload_fn(self.offered)
-            src = (self.conn.client if self.conn is not None
-                   else self.client._source_address())
-            msg = Message(src=src, dst=self.dst, payload=payload,
-                          proto=self.proto, created_at=env.now, conn=self.conn)
-            self.offered += 1
-            # Fire and forget: the arrival process must not be throttled
-            # by per-message send cost, or high offered rates would be
-            # silently capped below the target.
-            env.process(self.client.send(msg), name="%s-tx" % self.name)
+        payload = self.payload_fn(self.offered)
+        src = (self.conn.client if self.conn is not None
+               else self.client._source_address())
+        msg = Message(src=src, dst=self.dst, payload=payload,
+                      proto=self.proto, created_at=env.now, conn=self.conn)
+        self.offered += 1
+        # Fire and forget: the arrival process must not be throttled
+        # by per-message send cost, or high offered rates would be
+        # silently capped below the target.
+        self.client.send_async(msg)
+        env.charge(self._interarrival()).callbacks.append(self._fire)
 
 
 class ClosedLoopGenerator:
@@ -213,4 +284,4 @@ class ClosedLoopGenerator:
             else:
                 self.completed += 1
             if self.think_time > 0:
-                yield env.timeout(self.think_time)
+                yield env.charge(self.think_time)

@@ -40,15 +40,18 @@ class Network:
 
     def deliver(self, msg):
         """Fire-and-forget delivery of *msg* to its destination port."""
-        self.env.process(self._deliver(msg), name="net-deliver")
+        self.env._kick(lambda _evt, msg=msg: self._route(msg))
 
-    def _deliver(self, msg):
-        try:
-            endpoint = self.endpoint(msg.dst.ip)
-        except NetworkError:
+    def _route(self, msg):
+        endpoint = self._endpoints.get(msg.dst.ip)
+        if endpoint is None:
             self.counters.inc("dropped_no_route")
             return
-        yield self.env.timeout(self.one_way_latency)
+        self.env.defer(
+            2 * self.wire_latency + self.switch_latency,
+            lambda _evt, endpoint=endpoint, msg=msg: self._land(endpoint, msg))
+
+    def _land(self, endpoint, msg):
         # Drop-tail at the receiver's RX ring: a finite NIC ring is what
         # keeps an overloaded server stable instead of building an
         # unbounded backlog.

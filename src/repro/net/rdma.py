@@ -104,10 +104,10 @@ class RdmaEngine:
             raise NetworkError("RDMA reads require an RC queue pair")
         with self._issue.request() as req:
             yield req
-            yield self.env.timeout(_MIN_OP_GAP)
+            yield self.env.charge(_MIN_OP_GAP)
         qp.ops += 1
         self.ops_posted += 1
-        yield self.env.timeout(self.profile.barrier_latency)
+        yield self.env.charge(self.profile.barrier_latency)
 
     def _op(self, qp, nbytes, round_trips):
         if qp.engine is not self:
@@ -116,14 +116,14 @@ class RdmaEngine:
             raise ConfigError("negative RDMA size")
         with self._issue.request() as req:
             yield req
-            yield self.env.timeout(self._occupancy(nbytes))
+            yield self.env.charge(self._occupancy(nbytes))
         qp.ops += 1
         qp.bytes_moved += nbytes
         self.ops_posted += 1
         latency = self.profile.op_latency * round_trips
         if qp.remote:
             latency += self.profile.remote_extra_latency * round_trips
-        yield self.env.timeout(latency)
+        yield self.env.charge(latency)
 
     # -- analytic helpers -----------------------------------------------------
 

@@ -121,7 +121,7 @@ class NetworkStack:
             return False
         if not self.is_listening(msg.dst.port):
             return True  # silently dropped, like a closed port
-        self.env.process(self._accept(msg, nic), name="tcp-accept")
+        self.env.detached(self._accept(msg, nic))
         return True
 
     def _accept(self, msg, nic):

@@ -11,11 +11,13 @@ Public surface::
 
 """
 
-from .environment import Environment
+from .environment import Environment, kernel_totals, reset_kernel_totals
 from .events import (
     Event,
     Timeout,
+    Charge,
     Process,
+    Task,
     Interrupt,
     Condition,
     all_of,
@@ -31,9 +33,13 @@ from .trace import Tracer, NullTracer
 
 __all__ = [
     "Environment",
+    "kernel_totals",
+    "reset_kernel_totals",
     "Event",
     "Timeout",
+    "Charge",
     "Process",
+    "Task",
     "Interrupt",
     "Condition",
     "all_of",

@@ -1,10 +1,67 @@
-"""The simulation environment: clock, schedule, and run loop."""
+"""The simulation environment: clock, schedule, and fast run loop.
 
+The run loop is the single hottest function in the repository: every
+simulated request costs tens of dispatched events, and the saturation
+experiments (E04, E09, E11) push tens of millions of events per run.
+The loop is therefore written for CPython throughput:
+
+* the heap entry sequence number is a plain int (``self._eid``), not an
+  ``itertools.count`` — and hot constructors bump it inline;
+* the loop body has no per-event ``try/except``; ``while queue`` replaces
+  catching ``IndexError`` per pop;
+* pooled events (:class:`~.events.Charge`) are recycled right after
+  their callbacks run, so fixed-latency charges allocate nothing in
+  steady state;
+* lightweight kernel counters (events processed, spawns, heap peak,
+  wall-clock) are maintained as plain int bumps and surfaced through
+  :meth:`kernel_stats` / :func:`kernel_totals`.
+
+Determinism note: all fast-path primitives consume exactly one sequence
+number per scheduled event, just like the plain primitives they replace,
+so relative event order — and therefore every simulated result — is
+unchanged for a fixed seed.
+"""
+
+import gc
 import heapq
-from itertools import count
+from heapq import heappush
+from time import perf_counter
 
 from ..errors import SimulationError
-from .events import Event, Timeout, Process, NORMAL, any_of, all_of
+from .events import (
+    Event, Timeout, Charge, Process, Task, NORMAL, URGENT, any_of, all_of,
+)
+
+#: Max events/tasks kept on a free list (per environment).
+_POOL_CAP = 4096
+
+#: Counter keys accumulated across environments (see :func:`kernel_totals`).
+_TOTAL_KEYS = (
+    "events_processed", "processes_spawned", "tasks_spawned",
+    "charges_created", "charges_reused", "wall_seconds",
+)
+
+_TOTALS = {key: 0 for key in _TOTAL_KEYS}
+_TOTALS["heap_peak"] = 0
+
+
+def kernel_totals():
+    """Process-wide kernel counters, summed over every environment run.
+
+    Experiments construct one environment per run; the per-run counters
+    are flushed into this module-level block at the end of each
+    ``Environment.run()`` so a CLI can report simulator throughput
+    without holding references to the environments involved.
+    """
+    totals = dict(_TOTALS)
+    wall = totals["wall_seconds"]
+    totals["events_per_sec"] = totals["events_processed"] / wall if wall > 0 else 0.0
+    return totals
+
+
+def reset_kernel_totals():
+    for key in _TOTALS:
+        _TOTALS[key] = 0
 
 
 class EmptySchedule(Exception):
@@ -19,11 +76,25 @@ class Environment:
     environment and create events through it.
     """
 
+    POOL_CAP = _POOL_CAP
+
     def __init__(self, initial_time=0.0):
         self.now = float(initial_time)
         self._queue = []
-        self._eid = count()
+        self._eid = 0
         self._active_process = None
+        self._charge_pool = []
+        self._task_pool = []
+        self._immediate_event = None
+        # Kernel counters (cheap plain-int bumps; see kernel_stats()).
+        self.events_processed = 0
+        self.processes_spawned = 0
+        self.tasks_spawned = 0
+        self.charges_created = 0
+        self.charges_reused = 0
+        self.heap_peak = 0
+        self.wall_seconds = 0.0
+        self._flushed = {key: 0 for key in _TOTAL_KEYS}
 
     # -- event construction ------------------------------------------------
 
@@ -32,12 +103,121 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """Create an event that fires *delay* microseconds from now."""
+        """Create an event that fires *delay* microseconds from now.
+
+        Use this whenever the event may be stored, raced in a condition,
+        or observed after it fires (e.g. request expiry timers).  For a
+        plain "charge N microseconds and move on" stage, prefer
+        :meth:`charge`, which recycles the event object.
+        """
         return Timeout(self, delay, value)
+
+    def charge(self, delay, value=None):
+        """A pooled timeout for immediate, one-shot consumption.
+
+        Semantics are identical to :meth:`timeout` — same priority, same
+        sequence-number consumption, so event ordering is unchanged — but
+        the event object comes from a free list and is recycled by the
+        kernel right after its callbacks run.  The caller must yield it
+        immediately and exactly once, and must never store it, re-yield
+        it, or place it in a condition.
+        """
+        if delay < 0:
+            raise SimulationError("negative charge delay: %r" % delay)
+        pool = self._charge_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event.delay = delay
+            self.charges_reused += 1
+        else:
+            event = Charge(self, delay, value)
+            self.charges_created += 1
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self.now + delay, NORMAL, eid, event))
+        return event
+
+    def defer(self, delay, callback, priority=NORMAL):
+        """Invoke *callback(event)* after *delay*, via a pooled event.
+
+        The callback-driven twin of :meth:`charge`, for state machines
+        that advance on plain callbacks instead of generator resumption.
+        """
+        if delay < 0:
+            raise SimulationError("negative defer delay: %r" % delay)
+        pool = self._charge_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event.delay = delay
+            self.charges_reused += 1
+        else:
+            event = Charge(self, delay, None)
+            self.charges_created += 1
+        event.callbacks.append(callback)
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self.now + delay, priority, eid, event))
+        return event
+
+    def _kick(self, callback):
+        """Schedule *callback* URGENTly at the current time (pooled).
+
+        This is the zero-allocation replacement for the ``Initialize``
+        event that used to kick off every process: same timestamp, same
+        URGENT priority, one sequence number — identical ordering.
+        """
+        pool = self._charge_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event.delay = 0.0
+            self.charges_reused += 1
+        else:
+            event = Charge(self, 0.0, None)
+            self.charges_created += 1
+        event.callbacks.append(callback)
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self.now, URGENT, eid, event))
+        return event
+
+    def immediate(self, value=None):
+        """An already-processed event carrying *value*.
+
+        Yielding it resumes the coroutine synchronously — the kernel
+        schedules nothing and the clock does not advance.  The returned
+        object is a per-environment singleton: yield it immediately and
+        never store it.  (Do not substitute it for ``timeout(0)``, which
+        *does* schedule and therefore orders against other events.)
+        """
+        event = self._immediate_event
+        if event is None:
+            event = Event(self)
+            event.callbacks = None
+            event._ok = True
+            self._immediate_event = event
+        event._value = value
+        return event
 
     def process(self, generator, name=None):
         """Start *generator* as a new :class:`Process`."""
         return Process(self, generator, name=name)
+
+    def detached(self, generator):
+        """Run *generator* as a fire-and-forget task (no Process object).
+
+        Use for data-plane fan-out where nobody yields on the result:
+        the driver is pooled and no termination event is scheduled.  The
+        task cannot be interrupted or waited on; an uncaught exception
+        still crashes the simulation.  Ordering matches ``process()``
+        exactly (one URGENT kick at the current time).
+        """
+        pool = self._task_pool
+        task = pool.pop() if pool else Task(self)
+        self.tasks_spawned += 1
+        task._start(generator)
 
     def any_of(self, events):
         return any_of(self, events)
@@ -54,15 +234,16 @@ class Environment:
 
     def schedule(self, event, delay=0.0, priority=NORMAL):
         """Place *event* on the schedule *delay* microseconds from now."""
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, next(self._eid), event))
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (self.now + delay, priority, eid, event))
 
     def peek(self):
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self):
-        """Process the next scheduled event."""
+        """Process the next scheduled event (slow path; run() inlines this)."""
         try:
             when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
@@ -71,10 +252,15 @@ class Environment:
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event._defused:
+        self.events_processed += 1
+        if event._pooled:
+            callbacks.clear()
+            event.callbacks = callbacks
+            if len(self._charge_pool) < _POOL_CAP:
+                self._charge_pool.append(event)
+        elif not event._ok and not event._defused:
             # An unhandled failure terminates the simulation loudly.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until=None):
         """Run the simulation.
@@ -98,16 +284,98 @@ class Environment:
                 # URGENT so the clock stops before same-time model events run.
                 self.schedule(stop_event, delay=horizon - self.now, priority=0)
             stop_event.callbacks.append(_StopSimulation.throw_in)
+
+        queue = self._queue
+        pop = heapq.heappop
+        qsize = len
+        charge_pool = self._charge_pool
+        nprocessed = 0
+        peak = self.heap_peak
+        # Heap occupancy moves slowly relative to the event rate, so the
+        # peak is sampled at entry and every 256 events rather than per
+        # event — two len() calls per event (queue + pool) measurably
+        # slow the loop at tens of millions of events per run.
+        qlen = qsize(queue)
+        if qlen > peak:
+            peak = qlen
+        # The hot loop churns through short-lived events, messages and
+        # generator frames; generation-0 cycle collections add 5-15%
+        # overhead for garbage that refcounting already reclaims.  The
+        # few real cycles (process <-> generator frames) are collected
+        # once tracking resumes after the run.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        started = perf_counter()
         try:
-            while True:
-                self.step()
-        except _StopSimulation as stop:
-            return stop.args[0]
-        except EmptySchedule:
+            while queue:
+                when, _, _, event = pop(queue)
+                self.now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                nprocessed += 1
+                if not nprocessed & 255:
+                    qlen = qsize(queue)
+                    if qlen > peak:
+                        peak = qlen
+                if event._pooled:
+                    # Recycle: callbacks already ran; hand the (cleared)
+                    # list back so the next charge() skips two allocations.
+                    # The free list is trimmed to the cap on exit instead
+                    # of checked per event.
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    charge_pool.append(event)
+                elif not event._ok and not event._defused:
+                    # An unhandled failure terminates the simulation loudly.
+                    raise event._value
             if stop_event is not None and not stop_event.triggered:
                 raise SimulationError(
                     "run() condition %r never fired; schedule is empty" % stop_event)
             return None
+        except _StopSimulation as stop:
+            return stop.args[0]
+        finally:
+            self.wall_seconds += perf_counter() - started
+            if gc_was_enabled:
+                gc.enable()
+            del charge_pool[_POOL_CAP:]
+            self.events_processed += nprocessed
+            self.heap_peak = peak
+            self._flush_totals()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def kernel_stats(self):
+        """Kernel throughput counters for this environment.
+
+        ``events_per_sec`` divides events processed inside ``run()`` by
+        the wall-clock seconds spent there, so it measures the simulator
+        itself, not the model.
+        """
+        wall = self.wall_seconds
+        return {
+            "events_processed": self.events_processed,
+            "processes_spawned": self.processes_spawned,
+            "tasks_spawned": self.tasks_spawned,
+            "charges_created": self.charges_created,
+            "charges_reused": self.charges_reused,
+            "charge_pool_size": len(self._charge_pool),
+            "heap_peak": self.heap_peak,
+            "wall_seconds": wall,
+            "events_per_sec": self.events_processed / wall if wall > 0 else 0.0,
+        }
+
+    def _flush_totals(self):
+        """Fold this environment's counter deltas into the module totals."""
+        flushed = self._flushed
+        for key in _TOTAL_KEYS:
+            value = getattr(self, key)
+            _TOTALS[key] += value - flushed[key]
+            flushed[key] = value
+        if self.heap_peak > _TOTALS["heap_peak"]:
+            _TOTALS["heap_peak"] = self.heap_peak
 
 
 class _StopSimulation(Exception):

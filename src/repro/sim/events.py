@@ -5,7 +5,24 @@ processes are Python generators that ``yield`` :class:`Event` objects and
 are resumed when those events fire.  An event is *triggered* once a value
 (or failure) has been assigned and it has been placed on the environment's
 schedule; it is *processed* once its callbacks have run.
+
+Hot-path design (see DESIGN.md, "Performance of the simulator itself"):
+
+* :class:`Charge` is a pooled :class:`Timeout` recycled by the run loop
+  after its callbacks fire.  Fixed-cost stages (core pools, RDMA engine,
+  iolib, network hops) charge microseconds through
+  ``Environment.charge()`` without allocating a fresh event per charge.
+* :class:`Task` drives a fire-and-forget generator with none of the
+  :class:`Process` bookkeeping: no process event, no termination event
+  on the schedule, and the driver object itself is pooled.  Data-plane
+  fan-out (per-message deliveries, responses, watchdogs) uses
+  ``Environment.detached()``.
+
+Both keep the event *ordering* of their unpooled equivalents, so a fixed
+seed produces bit-identical results.
 """
+
+from heapq import heappush
 
 from ..errors import SimulationError
 
@@ -25,6 +42,10 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    #: class-level flag: pooled events are recycled by the run loop after
+    #: their callbacks fire (only :class:`Charge` sets this).
+    _pooled = False
 
     def __init__(self, env):
         self.env = env
@@ -60,7 +81,10 @@ class Event:
             raise SimulationError("event %r has already been triggered" % self)
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0, priority=priority)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env.now, priority, eid, self))
         return self
 
     def fail(self, exception, priority=NORMAL):
@@ -92,15 +116,46 @@ class Timeout(Event):
     def __init__(self, env, delay, value=None):
         if delay < 0:
             raise SimulationError("negative timeout delay: %r" % delay)
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
 
+class Charge(Timeout):
+    """A pooled :class:`Timeout` recycled by the kernel after it fires.
+
+    Created only via ``Environment.charge()`` / ``Environment.defer()``.
+    Pooling contract: a Charge must be yielded (or given its callbacks)
+    immediately and exactly once, and must never be stored, re-yielded,
+    or combined into a condition — after its callbacks run, the kernel
+    reuses the object for a future charge.
+    """
+
+    __slots__ = ()
+
+    _pooled = True
+
+    def __init__(self, env, delay, value=None):
+        # Does NOT self-schedule: the environment pushes it with the
+        # right priority (URGENT for kicks, NORMAL for charges).
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+
+
 class Initialize(Event):
-    """Internal: kicks off a freshly created :class:`Process`."""
+    """Internal: kicks off a freshly created :class:`Process`.
+
+    Retained for API compatibility; the kernel now uses pooled kick
+    events (``Environment._kick``) instead.
+    """
 
     __slots__ = ()
 
@@ -145,16 +200,27 @@ class Process(Event):
     the event value; an uncaught exception fails the event.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_name")
 
     def __init__(self, env, generator, name=None):
         if not hasattr(generator, "send"):
             raise SimulationError("process requires a generator, got %r" % (generator,))
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
         self._target = None
-        self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        self._name = name
+        env.processes_spawned += 1
+        env._kick(self._resume)
+
+    @property
+    def name(self):
+        # Resolved lazily: formatting a name per spawn is pure overhead
+        # on the hot path, and most processes are never printed.
+        return self._name or getattr(self._generator, "__name__", "process")
 
     @property
     def is_alive(self):
@@ -175,11 +241,12 @@ class Process(Event):
     def _resume(self, event):
         """Advance the generator with the outcome of *event*."""
         env = self.env
+        generator = self._generator
         env._active_process = self
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 except StopIteration as exc:
                     self._target = None
                     self.succeed(getattr(exc, "value", None))
@@ -191,7 +258,7 @@ class Process(Event):
             else:
                 event._defused = True
                 try:
-                    target = self._generator.throw(type(event._value)(*event._value.args))
+                    target = generator.throw(type(event._value)(*event._value.args))
                 except StopIteration as exc:
                     self._target = None
                     self.succeed(getattr(exc, "value", None))
@@ -224,47 +291,144 @@ class Process(Event):
         self.env.schedule(self, delay=0)
 
 
-class Condition(Event):
-    """Waits for a combination of events (all-of / any-of)."""
+class Task:
+    """Drives a fire-and-forget generator without Process bookkeeping.
 
-    __slots__ = ("_events", "_evaluate", "_remaining")
+    A Task is *not* an event: it cannot be yielded on, interrupted, or
+    inspected, and it schedules no termination event when the generator
+    finishes.  The driver object itself is pooled by the environment, so
+    per-message spawns on the data plane cost one generator allocation
+    and one pooled kick event.  Spawn via ``Environment.detached()``;
+    use ``env.process()`` whenever the completion or result matters.
+
+    An uncaught exception inside the generator still crashes the
+    simulation loudly, exactly like a failed process with no waiters.
+    """
+
+    __slots__ = ("env", "_generator", "_target")
+
+    def __init__(self, env):
+        self.env = env
+        self._generator = None
+        self._target = None
+
+    def _start(self, generator):
+        self._generator = generator
+        self.env._kick(self._step)
+
+    def _step(self, event):
+        env = self.env
+        generator = self._generator
+        env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    target = generator.send(event._value)
+                except StopIteration:
+                    self._finish(env)
+                    break
+                except BaseException as exc:
+                    self._crash(env, exc)
+                    break
+            else:
+                event._defused = True
+                try:
+                    target = generator.throw(type(event._value)(*event._value.args))
+                except StopIteration:
+                    self._finish(env)
+                    break
+                except BaseException as exc:
+                    self._crash(env, exc)
+                    break
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    "detached task yielded a non-event: %r" % (target,))
+                event = Event(env)
+                event._ok = False
+                event._value = exc
+                event._defused = False
+                continue
+            if target.callbacks is not None:
+                target.callbacks.append(self._step)
+                self._target = target
+                break
+            event = target
+        env._active_process = None
+
+    def _finish(self, env):
+        self._generator = None
+        self._target = None
+        pool = env._task_pool
+        if len(pool) < env.POOL_CAP:
+            pool.append(self)
+
+    def _crash(self, env, exc):
+        # Mirror an unhandled process failure: a non-defused failed event
+        # on the schedule makes the run loop raise at dispatch time.
+        self._generator = None
+        self._target = None
+        failure = Event(env)
+        failure._ok = False
+        failure._value = exc
+        env.schedule(failure)
+
+
+class Condition(Event):
+    """Waits for a combination of events (all-of / any-of).
+
+    The processed-child count is maintained incrementally (each child
+    callback bumps ``_done`` once) instead of rescanning every child on
+    every callback, so an N-event condition costs O(N), not O(N^2).
+    """
+
+    __slots__ = ("_events", "_evaluate", "_done")
 
     def __init__(self, env, evaluate, events):
         super().__init__(env)
         self._events = list(events)
         self._evaluate = evaluate
-        self._remaining = 0
         for evt in self._events:
             if not isinstance(evt, Event):
                 raise SimulationError("condition over non-event %r" % (evt,))
+        # Children already processed at construction time are all visible
+        # at once (nothing is dispatched during __init__), so they count
+        # as a block before the first evaluation — matching a full scan.
+        done = 0
+        for evt in self._events:
+            if evt.callbacks is None:
+                done += 1
+        self._done = done
         for evt in self._events:
             if evt.callbacks is None:  # already processed
-                self._check(evt)
+                if self.triggered:
+                    continue
+                if not evt._ok:
+                    evt._defused = True
+                    self.fail(evt._value)
+                elif self._evaluate(self._events, done):
+                    self.succeed(self._collect())
             else:
-                self._remaining += 1
                 evt.callbacks.append(self._check)
-        if not self.triggered and self._evaluate(self._events, self._count_done()):
+        if not self.triggered and self._evaluate(self._events, self._done):
             self.succeed(self._collect())
         elif not self._events and not self.triggered:
             self.succeed({})
 
-    def _count_done(self):
-        # An event has *occurred* once its callbacks ran (callbacks is None).
-        # Timeout pre-assigns its value at construction, so `triggered`
-        # alone would over-count.
-        return sum(1 for e in self._events if e.processed)
-
     def _check(self, event):
         if self.triggered:
             return
+        self._done += 1
         if not event._ok:
             event._defused = True
             self.fail(event._value)
-            return
-        if self._evaluate(self._events, self._count_done()):
+        elif self._evaluate(self._events, self._done):
             self.succeed(self._collect())
 
     def _collect(self):
+        # An event has *occurred* once its callbacks ran (callbacks is
+        # None).  Timeout pre-assigns its value at construction, so
+        # `triggered` alone would over-count.
         return {evt: evt._value for evt in self._events if evt.processed and evt._ok}
 
 

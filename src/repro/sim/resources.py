@@ -12,10 +12,11 @@ request object doubles as a context manager::
 """
 
 import heapq
+from heapq import heappush
 from itertools import count
 
 from ..errors import SimulationError
-from .events import Event
+from .events import Event, NORMAL, PENDING
 from .stats import TimeWeightedGauge
 
 
@@ -25,7 +26,12 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_released")
 
     def __init__(self, resource, priority=0):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — requests are data-plane hot.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self._released = False
@@ -58,7 +64,7 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.name = name or "resource"
-        self._users = set()
+        self._in_use = 0
         self._waiters = []
         self._order = count()
         self.utilization = TimeWeightedGauge(env)
@@ -66,7 +72,7 @@ class Resource:
 
     @property
     def in_use(self):
-        return len(self._users)
+        return self._in_use
 
     @property
     def waiting(self):
@@ -76,30 +82,79 @@ class Resource:
         """Create a claim; the returned event fires when a slot is granted."""
         return Request(self, priority)
 
+    # Gauge updates below are inlined (see TimeWeightedGauge.set): the
+    # request/grant/release cycle runs millions of times per saturation
+    # run and the method-call overhead alone was measurable.
+
     def _do_request(self, req):
-        if len(self._users) < self.capacity and not self._waiters:
+        if self._in_use < self.capacity and not self._waiters:
             self._grant(req)
         else:
             heapq.heappush(self._waiters, (req.priority, next(self._order), req))
-            self.queue_depth.set(len(self._waiters))
+            gauge = self.queue_depth
+            value = len(self._waiters)
+            if value != gauge._value:
+                now = self.env.now
+                gauge._area += gauge._value * (now - gauge._last_change)
+                gauge._value = value
+                gauge._last_change = now
+                if value > gauge._max:
+                    gauge._max = value
 
     def _grant(self, req):
-        self._users.add(req)
-        self.utilization.set(len(self._users) / self.capacity)
-        req.succeed(req)
+        in_use = self._in_use + 1
+        self._in_use = in_use
+        gauge = self.utilization
+        value = in_use / self.capacity
+        if value != gauge._value:
+            now = self.env.now
+            gauge._area += gauge._value * (now - gauge._last_change)
+            gauge._value = value
+            gauge._last_change = now
+            if value > gauge._max:
+                gauge._max = value
+        # Inlined req.succeed(req): a Request is only ever triggered
+        # here (or failed by cancel), so the double-trigger guard is
+        # redundant on this, the hottest resource path.
+        req._ok = True
+        req._value = req
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env.now, NORMAL, eid, req))
 
     def _do_release(self, req):
-        self._users.discard(req)
-        while self._waiters and len(self._users) < self.capacity:
-            _, _, nxt = heapq.heappop(self._waiters)
+        if req._value is not PENDING:
+            # Only granted requests hold a slot; releasing a request that
+            # was still waiting (e.g. after an interrupt) frees nothing.
+            self._in_use -= 1
+        waiters = self._waiters
+        while waiters and self._in_use < self.capacity:
+            _, _, nxt = heapq.heappop(waiters)
             if nxt.triggered:  # cancelled entries are left triggered/failed
                 continue
             self._grant(nxt)
-        self.queue_depth.set(len(self._waiters))
-        self.utilization.set(len(self._users) / self.capacity)
+        gauge = self.queue_depth
+        value = len(waiters)
+        if value != gauge._value:
+            now = self.env.now
+            gauge._area += gauge._value * (now - gauge._last_change)
+            gauge._value = value
+            gauge._last_change = now
+            if value > gauge._max:
+                gauge._max = value
+        gauge = self.utilization
+        value = self._in_use / self.capacity
+        if value != gauge._value:
+            now = self.env.now
+            gauge._area += gauge._value * (now - gauge._last_change)
+            gauge._value = value
+            gauge._last_change = now
+            if value > gauge._max:
+                gauge._max = value
 
     def _cancel(self, req):
-        if req in self._users or req.triggered:
+        if req.triggered:  # granted requests are always triggered
             return
         # Lazy deletion: mark by failing silently-defused; skipped on grant.
         self._waiters = [(p, o, r) for (p, o, r) in self._waiters if r is not req]
@@ -111,9 +166,12 @@ class Resource:
 
         Usage: ``yield from resource.execute(cost)`` inside a process.
         """
-        with self.request(priority=priority) as req:
+        req = Request(self, priority)
+        try:
             yield req
-            yield self.env.timeout(duration)
+            yield self.env.charge(duration)
+        finally:
+            req.release()
 
     def __repr__(self):
         return "<Resource %s %d/%d used, %d waiting>" % (

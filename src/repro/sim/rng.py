@@ -14,9 +14,13 @@ import numpy as np
 class RngRegistry:
     """Factory of independent ``numpy.random.Generator`` streams."""
 
+    #: scalar draws prefetched per stream by :meth:`exponential`
+    BLOCK = 512
+
     def __init__(self, seed=0):
         self.seed = int(seed)
         self._streams = {}
+        self._exp_blocks = {}
 
     def stream(self, name):
         """Return (creating on first use) the stream for *name*."""
@@ -28,22 +32,44 @@ class RngRegistry:
         return gen
 
     def exponential(self, name, mean):
-        """One draw from Exp(mean) on the named stream."""
-        return float(self.stream(name).exponential(mean))
+        """One draw from Exp(mean) on the named stream.
+
+        Standard-exponential variates are prefetched in blocks — numpy's
+        ``exponential(scale)`` is ``standard_exponential() * scale`` draw
+        for draw, so the values are bit-identical to unbatched scalar
+        draws while the per-call cost drops to an index bump.  A stream
+        consumed through this method must not also be consumed through
+        the other draw methods (asserted there).
+        """
+        block = self._exp_blocks.get(name)
+        if block is None or block[1] >= self.BLOCK:
+            block = [self.stream(name).standard_exponential(self.BLOCK), 0]
+            self._exp_blocks[name] = block
+        idx = block[1]
+        block[1] = idx + 1
+        return float(block[0][idx] * mean)
 
     def uniform(self, name, low, high):
         """One uniform draw on the named stream."""
+        assert name not in self._exp_blocks, \
+            "stream %r is batch-consumed by exponential()" % name
         return float(self.stream(name).uniform(low, high))
 
     def lognormal(self, name, mean, sigma):
         """One lognormal draw on the named stream."""
+        assert name not in self._exp_blocks, \
+            "stream %r is batch-consumed by exponential()" % name
         return float(self.stream(name).lognormal(mean, sigma))
 
     def integers(self, name, low, high):
         """One integer draw in [low, high) on the named stream."""
+        assert name not in self._exp_blocks, \
+            "stream %r is batch-consumed by exponential()" % name
         return int(self.stream(name).integers(low, high))
 
     def choice(self, name, seq):
         """Pick one element of *seq* on the named stream."""
+        assert name not in self._exp_blocks, \
+            "stream %r is batch-consumed by exponential()" % name
         idx = int(self.stream(name).integers(0, len(seq)))
         return seq[idx]

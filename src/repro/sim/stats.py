@@ -6,6 +6,7 @@ discarded, matching the paper's 2-second warmup methodology (§6).
 """
 
 import math
+from collections import defaultdict
 
 import numpy as np
 
@@ -131,6 +132,10 @@ class TimeWeightedGauge:
 
     def set(self, value):
         """Change the gauge value at the current time."""
+        if value == self._value:
+            # No-op update: the running area accrues at the same rate
+            # either way, so defer the accrual to the next real change.
+            return
         now = self.env.now
         self._area += self._value * (now - self._last_change)
         self._value = value
@@ -163,11 +168,11 @@ class Counter:
     """A labelled monotonic counter bundle (e.g. per-message-type)."""
 
     def __init__(self):
-        self._counts = {}
+        self._counts = defaultdict(int)
 
     def inc(self, label, n=1):
         """Increment *label* by *n*."""
-        self._counts[label] = self._counts.get(label, 0) + n
+        self._counts[label] += n
 
     def get(self, label):
         """Current count for *label* (0 if never incremented)."""
@@ -176,3 +181,25 @@ class Counter:
     def as_dict(self):
         """Snapshot of all labelled counts."""
         return dict(self._counts)
+
+
+def format_kernel_stats(stats):
+    """Render a kernel counter block (see ``Environment.kernel_stats`` /
+    ``sim.kernel_totals``) as an aligned, human-readable table."""
+    lines = ["simulator kernel:"]
+    total_charges = stats.get("charges_created", 0) + stats.get("charges_reused", 0)
+    reuse = (100.0 * stats.get("charges_reused", 0) / total_charges
+             if total_charges else 0.0)
+    rows = [
+        ("events processed", "{:,}".format(stats.get("events_processed", 0))),
+        ("processes spawned", "{:,}".format(stats.get("processes_spawned", 0))),
+        ("detached tasks", "{:,}".format(stats.get("tasks_spawned", 0))),
+        ("pooled charges", "{:,} ({:.1f}% reused)".format(total_charges, reuse)),
+        ("heap peak", "{:,}".format(stats.get("heap_peak", 0))),
+        ("wall-clock in run()", "%.2f s" % stats.get("wall_seconds", 0.0)),
+        ("events/sec", "{:,.0f}".format(stats.get("events_per_sec", 0.0))),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        lines.append("  %-*s  %s" % (width, label, value))
+    return "\n".join(lines)

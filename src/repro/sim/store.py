@@ -8,18 +8,22 @@ queues and mailbox-style notification between model components.
 
 import heapq
 from collections import deque
+from heapq import heappush
 from itertools import count
 
 from ..errors import SimulationError
-from .events import Event
-from .stats import TimeWeightedGauge
+from .events import Event, NORMAL, PENDING
 
 
 class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store, item):
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self.item = item
         store._do_put(self)
 
@@ -28,7 +32,11 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store):
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         store._do_get(self)
 
 
@@ -44,10 +52,14 @@ class Store:
         self._items = deque()
         self._getters = deque()
         self._putters = deque()
-        self.depth = TimeWeightedGauge(env)
         self.total_put = 0
 
     def __len__(self):
+        return len(self._items)
+
+    @property
+    def depth(self):
+        """Current number of queued items."""
         return len(self._items)
 
     @property
@@ -79,7 +91,6 @@ class Store:
         if self._items:
             item = self._pop_item()
             self._wake_putter()
-            self.depth.set(len(self._items))
             return item
         return None
 
@@ -91,34 +102,57 @@ class Store:
     def _pop_item(self):
         return self._items.popleft()
 
+    # The succeed() calls below are inlined: put/get events are created
+    # untriggered and only triggered once, right here, so the
+    # double-trigger guard would be dead weight on the data plane.
+
     def _do_put(self, event):
+        env = self.env
         if self._getters:
             getter = self._getters.popleft()
             self.total_put += 1
-            getter.succeed(event.item)
-            event.succeed()
+            getter._ok = True
+            getter._value = event.item
+            eid = env._eid
+            heappush(env._queue, (env.now, NORMAL, eid, getter))
+            event._ok = True
+            event._value = None
+            env._eid = eid + 2
+            heappush(env._queue, (env.now, NORMAL, eid + 1, event))
         elif len(self._items) < self.capacity:
             self._push_item(event.item)
             self.total_put += 1
-            event.succeed()
+            event._ok = True
+            event._value = None
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env.now, NORMAL, eid, event))
         else:
             self._putters.append(event)
-        self.depth.set(len(self._items))
 
     def _do_get(self, event):
         if self._items:
-            event.succeed(self._pop_item())
+            event._ok = True
+            event._value = self._pop_item()
+            env = self.env
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env.now, NORMAL, eid, event))
             self._wake_putter()
         else:
             self._getters.append(event)
-        self.depth.set(len(self._items))
 
     def _wake_putter(self):
         if self._putters and len(self._items) < self.capacity:
             put = self._putters.popleft()
             self._push_item(put.item)
             self.total_put += 1
-            put.succeed()
+            put._ok = True
+            put._value = None
+            env = self.env
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env.now, NORMAL, eid, put))
 
     def __repr__(self):
         return "<%s %s depth=%d>" % (type(self).__name__, self.name, len(self._items))

@@ -1,0 +1,46 @@
+"""Determinism: fixed seed -> bit-identical result rows.
+
+The golden fixture was captured before the kernel fast-path work
+(pooled charges, detached tasks, callback delivery ops), so these tests
+pin two properties at once: repeated runs agree with each other, and
+the optimised kernel agrees with the original event ordering.
+
+E01 and E15 are the two cheapest experiments that still cross every
+optimised layer: RDMA delivery ops, charge pooling, the doorbell sweep
+loop, and (for E15) the consistency-barrier plan.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import e01_invocation_overhead, e15_consistency_barrier
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "..", "fixtures",
+                       "golden_fast_rows.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE) as fh:
+        return json.load(fh)
+
+
+def _rows(module):
+    result = module.run(fast=True, seed=42)
+    # Round-trip through JSON so float formatting matches the fixture.
+    return json.loads(json.dumps(result.rows))
+
+
+class TestGoldenRows:
+    def test_e01_rows_bit_identical(self, golden):
+        assert _rows(e01_invocation_overhead) == golden["E01"]
+
+    def test_e15_rows_bit_identical(self, golden):
+        assert _rows(e15_consistency_barrier) == golden["E15"]
+
+    def test_e01_repeatable_within_process(self, golden):
+        first = _rows(e01_invocation_overhead)
+        second = _rows(e01_invocation_overhead)
+        assert first == second == golden["E01"]
