@@ -1,0 +1,89 @@
+"""Doorbell-batching benchmark for the Channel layer (§5.2).
+
+Runs the two delivery-heavy experiments (E09 LeNet serving and the E04
+saturation grid) in fast mode twice — ``LynxProfile.batch_size = 1``
+(every ingress message posts its own RDMA doorbell) versus
+``batch_size = 8`` (the RMQ manager coalesces backlogged deliveries
+into one doorbell per batch) — and compares the DES kernel's own event
+counters.  Coalescing collapses per-message RDMA op ladders into
+per-batch ladders, so the simulated-event count must drop; wall-clock
+should drop with it (bounded noise margin, recorded raw in
+``benchmarks/results/channel_batching.json``).
+
+The two experiments bracket the design intent: E04 drives the server
+into saturation, where backlogs form and batching engages heavily
+(~6% fewer kernel events); E09's moderate offered load coalesces only
+occasionally — a batch of one posts immediately, so the reduction is
+small but deterministic.  Both assertions are exact-count comparisons
+under the fixed seed, not wall-clock heuristics.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+from importlib import import_module
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.experiments import testbed
+from repro.sim import kernel_totals, reset_kernel_totals
+
+from conftest import RESULTS_DIR, SEED
+
+RESULTS_PATH = os.path.join(RESULTS_DIR, "channel_batching.json")
+
+BATCH_SIZE = 8
+
+
+def _save(section, payload):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as fh:
+            data = json.load(fh)
+    data[section] = payload
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(data, fh, indent=2)
+
+
+def _measured_run(module, batch_size):
+    """(events_processed, wall_seconds) of one fast experiment run."""
+    mod = import_module("repro.experiments." + module)
+    config = DEFAULT_CONFIG.with_(
+        lynx=replace(DEFAULT_CONFIG.lynx, batch_size=batch_size))
+    testbed.set_active_config(config)
+    reset_kernel_totals()
+    t0 = time.perf_counter()
+    try:
+        mod.run(fast=True, seed=SEED)
+    finally:
+        testbed.set_active_config(None)
+    wall = time.perf_counter() - t0
+    return kernel_totals()["events_processed"], wall
+
+
+@pytest.mark.parametrize("module", [
+    "e09_fig8a_lenet",
+    "e04_fig6_throughput_grid",
+])
+def test_batching_reduces_kernel_events(module):
+    unbatched_events, unbatched_wall = _measured_run(module, 1)
+    batched_events, batched_wall = _measured_run(module, BATCH_SIZE)
+    reduction = 1.0 - batched_events / unbatched_events
+    _save(module, {
+        "batch_size": BATCH_SIZE,
+        "unbatched_events": unbatched_events,
+        "batched_events": batched_events,
+        "event_reduction": round(reduction, 4),
+        "unbatched_wall_seconds": round(unbatched_wall, 3),
+        "batched_wall_seconds": round(batched_wall, 3),
+    })
+    assert batched_events < unbatched_events, (
+        "%s: batch_size=%d processed %d events vs %d unbatched"
+        % (module, BATCH_SIZE, batched_events, unbatched_events))
+    # Fewer events must not cost wall-clock: allow measurement noise.
+    assert batched_wall <= unbatched_wall * 1.15, (
+        "%s: batched run slower (%.3fs vs %.3fs)"
+        % (module, batched_wall, unbatched_wall))

@@ -19,7 +19,7 @@ the server logic to the SNIC.
 """
 
 from ..errors import ConfigError
-from ..sim import RateMeter, Store
+from ..sim import Channel, RateMeter
 
 #: the only transport GPU-side network stacks support (§3.3)
 RDMA_PROTO = "rdma"
@@ -54,9 +54,12 @@ class GpuCentricServer:
         self.helpers = machine.pool(count=helper_cores,
                                     name="%s-helpers" % self.name)
         self.nic = machine.nic
-        # one unified work ring for the GPU-side stack (rx + tx events)
-        self._work = Store(env, capacity=4096, name="%s-work" % self.name)
-        self._app_ring = Store(env, capacity=4096, name="%s-app" % self.name)
+        # one unified work ring for the GPU-side stack (rx + tx events);
+        # both rings are Channels so traces and drop stats line up with
+        # the Lynx data plane's
+        self._work = Channel(env, capacity=4096, name="%s-work" % self.name)
+        self._app_ring = Channel(env, capacity=4096,
+                                 name="%s-app" % self.name)
         self.requests = RateMeter(env, name="%s-reqs" % self.name)
         self.responses = RateMeter(env, name="%s-resps" % self.name)
         self.dropped = 0

@@ -12,11 +12,37 @@ Usage::
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from . import REGISTRY
 from . import ablations, breakdown
+from . import testbed as testbed_mod
+from ..config import DEFAULT_CONFIG
 from ..sim import kernel_totals, reset_kernel_totals
+from ..sim import trace as trace_mod
 from ..sim.stats import format_kernel_stats
+
+
+def _print_trace(exp_id, needle, limit):
+    """Print (bounded) trace rows whose channel name contains *needle*."""
+    rows = []
+    dropped = 0
+    for tracer in trace_mod.enabled_tracers():
+        rows.extend(tracer.filter(contains=needle))
+        dropped += tracer.dropped
+    rows.sort(key=lambda rec: rec[0])
+    shown = rows if limit <= 0 else rows[:limit]
+    print("trace[%s] channel~%r: %d records" % (exp_id, needle, len(rows)))
+    for when, channel, event, msg_id, detail in shown:
+        print("  %12.3f  %-24s %-10s %-8s %s"
+              % (when, channel, event,
+                 "-" if msg_id is None else msg_id,
+                 "" if detail is None else detail))
+    if len(rows) > len(shown):
+        print("  ... %d more (raise --trace-limit)" % (len(rows) - len(shown)))
+    if dropped:
+        print("  ... %d records dropped by the tracer ring limit" % dropped)
+    print()
 
 
 def main(argv=None):
@@ -38,7 +64,39 @@ def main(argv=None):
                         help="after the runs, print the simulator kernel's "
                              "own throughput counters (events processed, "
                              "spawns, heap peak, events/sec)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        help="coalesce up to N ingress deliveries into one "
+                             "RDMA doorbell (LynxProfile.batch_size, §5.2)")
+    parser.add_argument("--poll-batch", type=int, default=None, metavar="N",
+                        help="fetch at most N TX entries per mqueue per "
+                             "egress sweep (0 = drain all)")
+    parser.add_argument("--backpressure", action="store_true",
+                        help="park deliveries on RX-ring credits instead of "
+                             "dropping when a ring is full")
+    parser.add_argument("--trace-channel", metavar="NAME",
+                        help="enable tracing and, after each run, print the "
+                             "records of channels whose name contains NAME")
+    parser.add_argument("--trace-limit", type=int, default=40, metavar="ROWS",
+                        help="max trace rows printed per run "
+                             "(with --trace-channel; default 40)")
     args = parser.parse_args(argv)
+
+    overrides = {}
+    lynx_fields = {}
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            parser.error("--batch-size must be >= 1")
+        lynx_fields["batch_size"] = args.batch_size
+    if args.poll_batch is not None:
+        if args.poll_batch < 0:
+            parser.error("--poll-batch must be >= 0")
+        lynx_fields["poll_batch"] = args.poll_batch
+    if args.backpressure:
+        lynx_fields["backpressure"] = True
+    if lynx_fields:
+        overrides["lynx"] = replace(DEFAULT_CONFIG.lynx, **lynx_fields)
+    if args.trace_channel:
+        overrides["trace"] = True
 
     if args.list:
         for exp_id in sorted(REGISTRY):
@@ -56,18 +114,28 @@ def main(argv=None):
     if args.kernel_stats:
         reset_kernel_totals()
 
-    for exp_id in wanted:
-        start = time.time()
-        result = REGISTRY[exp_id].run(fast=not args.full, seed=args.seed)
-        print(result.render())
-        print("(%.1fs)\n" % (time.time() - start))
+    if overrides:
+        testbed_mod.set_active_config(DEFAULT_CONFIG.with_(**overrides))
+    try:
+        for exp_id in wanted:
+            start = time.time()
+            trace_mod.clear_enabled_tracers()
+            result = REGISTRY[exp_id].run(fast=not args.full, seed=args.seed)
+            print(result.render())
+            print("(%.1fs)\n" % (time.time() - start))
+            if args.trace_channel:
+                _print_trace(exp_id, args.trace_channel, args.trace_limit)
 
-    if args.extras:
-        print(breakdown.run(fast=not args.full, seed=args.seed).render())
-        print()
-        for study in ablations.ALL_STUDIES:
-            print(study(fast=not args.full, seed=args.seed).render())
+        if args.extras:
+            print(breakdown.run(fast=not args.full, seed=args.seed).render())
             print()
+            for study in ablations.ALL_STUDIES:
+                print(study(fast=not args.full, seed=args.seed).render())
+                print()
+    finally:
+        if overrides:
+            testbed_mod.set_active_config(None)
+        trace_mod.clear_enabled_tracers()
 
     if args.kernel_stats:
         print(format_kernel_stats(kernel_totals()))

@@ -18,7 +18,7 @@ echo kernel, whose byte-by-byte copy time caps large-payload gains.
 """
 
 from ..config import K40M
-from ..sim import Store
+from ..sim import Channel
 from .base import ExperimentResult
 from .testbed import Testbed
 
@@ -83,9 +83,9 @@ def throughput(data_mech, ctrl_mech, payload_bytes, seed=42,
     mech = _Mechanisms(env, pool, gpu, host.nic.rdma, qp)
     coalesce = data_mech == "rdma" and ctrl_mech == "rdma"
 
-    rx_ring = Store(env, capacity=ring_depth)
-    tx_ring = Store(env, capacity=ring_depth)
-    tokens = Store(env, capacity=ring_depth)
+    rx_ring = Channel(env, name="e03-rx", capacity=ring_depth)
+    tx_ring = Channel(env, name="e03-tx", capacity=ring_depth)
+    tokens = Channel(env, name="e03-credits", capacity=ring_depth)
     done = [0]
     for _ in range(ring_depth):
         tokens.try_put(None)

@@ -23,6 +23,26 @@ from ..net import Client, Network
 from ..sim import Environment, RngRegistry, Tracer
 
 
+#: process-wide config override installed by the CLI (see
+#: :func:`set_active_config`); ``None`` means DEFAULT_CONFIG.
+_active_config = None
+
+
+def set_active_config(config):
+    """Install *config* as the default for testbeds built without one.
+
+    Experiment modules expose only ``run(fast, seed)``, so CLI knobs
+    (``--batch-size``, ``--trace-channel``, ...) and benchmarks reach
+    their testbeds through this hook.  Pass ``None`` to reset.
+    """
+    global _active_config
+    _active_config = config
+
+
+def active_config():
+    return _active_config
+
+
 class Testbed:
     """One simulated rack."""
 
@@ -30,14 +50,17 @@ class Testbed:
     __test__ = False
 
     def __init__(self, config=None, seed=None):
-        self.config = config or DEFAULT_CONFIG
+        self.config = config or _active_config or DEFAULT_CONFIG
         if seed is not None:
             self.config = self.config.with_(seed=seed)
         self.env = Environment()
+        #: event tracer (enabled via SimConfig.trace) — installed on the
+        #: environment *before* any Channel exists, so every hop built
+        #: by this testbed picks it up at construction time
+        self.tracer = Tracer(self.env, enabled=self.config.trace)
+        self.env.tracer = self.tracer
         self.rng = RngRegistry(self.config.seed)
         self.network = Network(self.env)
-        #: event tracer (enabled via SimConfig.trace)
-        self.tracer = Tracer(self.env, enabled=self.config.trace)
         self.machines = {}
         self.clients = {}
 

@@ -1,13 +1,15 @@
 """Network interface cards.
 
-:class:`Nic` is a plain port (RX queue + serialized TX).
+:class:`Nic` is a plain port: an RX ring and a TX serializer, both
+modelled as :class:`~repro.sim.Channel` hops (the TX channel owns the
+port's issue slot and serializes frames at the link rate).
 :class:`RdmaNic` adds a ConnectX-class one-sided RDMA engine — the
 piece Lynx uses to reach mqueues in accelerator memory, both locally
 (peer-to-peer PCIe) and on remote machines (§5.5).
 """
 
 from .. import units
-from ..sim import Resource, Store, RateMeter
+from ..sim import Channel, RateMeter
 from ..net.rdma import RdmaEngine
 
 
@@ -24,18 +26,20 @@ class Nic:
         self.ip = ip
         self.link_rate = link_rate
         self.name = name or "nic-%s" % ip
-        self.rx = Store(env, capacity=rx_ring_entries or self.RX_RING_ENTRIES,
-                        name="%s-rx" % self.name)
-        self._tx = Resource(env, 1, name="%s-tx" % self.name)
+        self.rx = Channel(env,
+                          capacity=rx_ring_entries or self.RX_RING_ENTRIES,
+                          name="%s-rx" % self.name)
+        #: the port's TX serializer: one frame at a time at line rate
+        self.tx = Channel(env, serialized=True, bandwidth=link_rate,
+                          name="%s-tx" % self.name)
+        self._tx = self.tx.issue  # legacy alias (hot-path state machines)
         self.tx_rate = RateMeter(env, name="%s-txrate" % self.name)
         self.rx_rate = RateMeter(env, name="%s-rxrate" % self.name)
         network.attach(ip, self)
 
     def send(self, msg):
         """Generator: serialize *msg* out of the port."""
-        with self._tx.request() as req:
-            yield req
-            yield self.env.charge(msg.wire_size / self.link_rate)
+        yield from self.tx.transfer(msg.wire_size)
         self.tx_rate.tick()
         self.network.deliver(msg)
 

@@ -1,13 +1,14 @@
 """PCIe links and peer-to-peer DMA paths.
 
 Lynx's data plane rides on PCIe peer-to-peer DMA between the (Smart)NIC
-and accelerator BARs (Figure 3): the host CPU is not on the path.  We
-model each link as a pair of per-direction serialized channels with a
-fixed traversal latency plus size/bandwidth serialization delay.
+and accelerator BARs (Figure 3): the host CPU is not on the path.  Each
+link direction is one serialized :class:`~repro.sim.Channel` with a
+fixed traversal latency plus size/bandwidth serialization delay, held
+while the transfer occupies the direction.
 """
 
 from ..errors import ConfigError
-from ..sim import Resource
+from ..sim import Channel
 
 
 class PcieLink:
@@ -18,19 +19,33 @@ class PcieLink:
         self.profile = profile
         self.name = name or profile.name
         self._channel = {
-            "up": Resource(env, 1, name="%s-up" % self.name),
-            "down": Resource(env, 1, name="%s-down" % self.name),
+            "up": Channel(env, serialized=True,
+                          bandwidth=profile.bandwidth,
+                          name="%s-up" % self.name),
+            "down": Channel(env, serialized=True,
+                            bandwidth=profile.bandwidth,
+                            name="%s-down" % self.name),
         }
 
-    def transfer(self, nbytes, direction="down"):
-        """Generator: move *nbytes* across the link in *direction*."""
-        if direction not in self._channel:
+    def channel(self, direction):
+        """The Channel modelling *direction* (for tests/stats)."""
+        try:
+            return self._channel[direction]
+        except KeyError:
             raise ConfigError("bad PCIe direction %r" % direction)
-        channel = self._channel[direction]
-        with channel.request() as req:
-            yield req
-            yield self.env.charge(
-                self.profile.latency + nbytes / self.profile.bandwidth)
+
+    def transfer(self, nbytes, direction="down"):
+        """Generator: move *nbytes* across the link in *direction*.
+
+        The fixed traversal latency is part of the occupancy (the
+        direction is held for latency + serialization, matching how a
+        posted-write burst owns the lane), so ``post_latency`` is zero.
+        """
+        channel = self.channel(direction)
+        yield from channel.transfer(
+            nbytes,
+            occupancy=self.profile.latency + nbytes / self.profile.bandwidth,
+            post_latency=0.0)
 
     def transfer_time(self, nbytes):
         """Uncontended transfer time for *nbytes* (for analytic checks)."""

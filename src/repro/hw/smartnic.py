@@ -11,7 +11,7 @@
 """
 
 from ..errors import ConfigError
-from ..sim import Resource, RateMeter
+from ..sim import Channel, RateMeter
 from .cpu import CpuSocket, CorePool
 from .nic import RdmaNic
 
@@ -53,11 +53,15 @@ class InnovaSNIC:
         self.nic = RdmaNic(env, network, ip, profile.rdma,
                            link_rate=profile.link_rate,
                            name="%s-port" % self.name)
-        # The AFU is a hardware pipeline: messages are accepted at the
-        # AFU rate (issue serialization) and then flow through with a
-        # fixed cut-through latency, overlapping each other.
-        self._issue = Resource(env, 1, name="%s-afu" % self.name)
+        # The AFU is a hardware pipeline, modelled as one serialized
+        # Channel: messages are accepted at the AFU rate (the channel's
+        # issue gap) and then flow through with a fixed cut-through
+        # latency, overlapping each other.
         self._gap = 1.0 / profile.afu_rate_pps
+        self.pipe = Channel(env, serialized=True, min_occupancy=self._gap,
+                            latency=profile.pipeline_latency,
+                            name="%s-afu" % self.name)
+        self._issue = self.pipe.issue  # legacy alias (AFU admission)
         self.processed = RateMeter(env, name="%s-pps" % self.name)
 
     @property
@@ -66,9 +70,9 @@ class InnovaSNIC:
 
     def afu_process(self, msg):
         """Generator: pass one message through the AFU UDP pipeline."""
-        with self._issue.request() as req:
-            yield req
-            yield self.env.charge(self._gap)
+        # Admission (issue gap) through the pipe; the rate meter ticks
+        # at acceptance time, before the cut-through latency elapses.
+        yield from self.pipe.transfer(msg.wire_size, post_latency=0.0)
         self.processed.tick()
         yield self.env.charge(self.profile.pipeline_latency)
 

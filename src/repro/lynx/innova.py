@@ -15,7 +15,7 @@ modelled faithfully:
 from ..errors import ConfigError
 from ..lynx.dispatch import RoundRobin
 from ..lynx.mqueue import METADATA_BYTES, MQueueEntry, SERVER
-from ..sim import RateMeter, Store
+from ..sim import Channel, RateMeter
 
 #: host helper-thread CPU cost per delivered message (QP refill).
 #: The paper's helper keeps up with the full 7.4M pps AFU rate, so the
@@ -44,7 +44,7 @@ class InnovaLynxServer:
         # the projected full configuration (rx_only=False) the AFU also
         # polls TX doorbells over one-sided RDMA and sends responses
         # through its on-FPGA UDP stack.
-        self._doorbells = Store(env, name="%s-doorbells" % self.name)
+        self._doorbells = Channel(env, name="%s-doorbells" % self.name)
         if not snic.profile.rx_only:
             env.process(self._tx_loop(), name="%s-tx" % self.name)
 
@@ -75,11 +75,10 @@ class InnovaLynxServer:
     def _rx_loop(self):
         while True:
             msg = yield self.snic.nic.recv()
-            # AFU admission: the hardware pipeline accepts one message
-            # per 1/afu_rate; everything downstream is pipelined.
-            with self.snic._issue.request() as req:
-                yield req
-                yield self.env.charge(self.snic._gap)
+            # AFU admission: the pipe channel accepts one message per
+            # 1/afu_rate; everything downstream is pipelined.
+            yield from self.snic.pipe.transfer(msg.wire_size,
+                                               post_latency=0.0)
             self.snic.processed.tick()
             self.env.detached(self._deliver(msg))
 
@@ -121,9 +120,8 @@ class InnovaLynxServer:
         # one-sided read fetches the response from the ring...
         yield from self.snic.rdma.read(qp, entry.size + METADATA_BYTES)
         # ...and the AFU's UDP stack emits it at line rate
-        with self.snic._issue.request() as req:
-            yield req
-            yield self.env.charge(self.snic._gap)
+        yield from self.snic.pipe.transfer(entry.size + METADATA_BYTES,
+                                           post_latency=0.0)
         yield self.env.charge(self.snic.profile.pipeline_latency)
         request = entry.request_msg
         if request is None:

@@ -6,6 +6,12 @@ the accelerator's enqueue/dequeue cost is exactly a local memory access.
 The SNIC reaches the rings remotely via one-sided RDMA (see
 :mod:`repro.lynx.rmq`).
 
+Both rings are :class:`~repro.sim.Channel` instances; the RX ring's
+credit accounting models what the SNIC-side shadow indices can see
+(slots claimed by in-flight RDMA writes count as occupied), and its
+``claim_wait`` credit event is what the manager's backpressure mode
+parks on.
+
 Two types (§4.3):
 
 * **server** mqueues are connection-less and bound to a listening port;
@@ -17,8 +23,8 @@ Two types (§4.3):
 
 from itertools import count
 
-from ..errors import CapacityError, ConfigError
-from ..sim import Store
+from ..errors import ConfigError
+from ..sim import Channel
 
 SERVER = "server"
 CLIENT = "client"
@@ -73,10 +79,12 @@ class MQueue:
         self.destination = destination
         self.proto = proto
         self.name = name or "mq%d" % self.mq_id
-        # Rings. Stores model the data; explicit occupancy accounting
-        # below models what the SNIC-side shadow indices can see.
-        self.rx_ring = Store(env, capacity=entries, name="%s-rx" % self.name)
-        self.tx_ring = Store(env, capacity=entries, name="%s-tx" % self.name)
+        # Rings as Channels: the RX ring's claim accounting is the
+        # SNIC-visible occupancy (in-flight RDMA writes included).
+        self.rx_ring = Channel(env, capacity=entries,
+                               name="%s-rx" % self.name)
+        self.tx_ring = Channel(env, capacity=entries,
+                               name="%s-tx" % self.name)
         #: doorbell channel to the Remote MQ Manager (set on registration)
         self.tx_doorbell = None
         #: source port the SNIC uses for this client mqueue's traffic
@@ -85,9 +93,8 @@ class MQueue:
         self.conn = None
         #: the port binding that owns this server mqueue (at most one)
         self.bound_port = None
-        # occupancy visible to the dispatcher (ring slots claimed by
-        # in-flight RDMA writes count too)
-        self._rx_claimed = 0
+        #: deliveries parked on RX-ring credits (manager backpressure)
+        self.parked = 0
         self.delivered = 0
         self.dropped = 0
         self.sent = 0
@@ -96,28 +103,22 @@ class MQueue:
 
     def claim_rx_slot(self):
         """Reserve an RX slot if one is free; False means drop (UDP)."""
-        if self._rx_claimed >= self.entries:
-            self.dropped += 1
-            return False
-        self._rx_claimed += 1
-        return True
+        if self.rx_ring.try_claim():
+            return True
+        self.dropped += 1
+        return False
 
     def complete_rx(self, entry):
         """Finish an RDMA delivery: the entry becomes visible on the ring."""
-        if self._rx_claimed <= 0:
-            raise CapacityError("completing an unclaimed RX slot on %s" % self.name)
         entry.enqueued_at = self.env.now
         self.delivered += 1
-        # The Store put cannot block: claim accounting guarantees space.
-        put = self.rx_ring.put(entry)
-        if not put.triggered:
-            raise CapacityError("RX ring overflow on %s despite claim" % self.name)
+        # The put cannot block: claim accounting guarantees space
+        # (complete_claim raises CapacityError otherwise).
+        self.rx_ring.complete_claim(entry)
 
     def abort_rx(self):
         """Release a claimed slot after a failed delivery."""
-        if self._rx_claimed <= 0:
-            raise CapacityError("aborting an unclaimed RX slot on %s" % self.name)
-        self._rx_claimed -= 1
+        self.rx_ring.abort_claim()
 
     # -- accelerator-side ---------------------------------------------------------
 
@@ -128,7 +129,8 @@ class MQueue:
         return get
 
     def _on_rx_pop(self, event):
-        self._rx_claimed -= 1
+        # Freed credit goes to a parked producer first (backpressure).
+        self.rx_ring.release_claim()
 
     def push_tx(self, entry):
         """Event: the accelerator's enqueue onto the TX ring."""
@@ -147,7 +149,7 @@ class MQueue:
 
     @property
     def rx_occupancy(self):
-        return self._rx_claimed
+        return self.rx_ring.claimed
 
     def __repr__(self):
         return "<MQueue %s kind=%s rx=%d tx=%d dropped=%d>" % (

@@ -183,7 +183,7 @@ class _RxOp:
         mq = binding.policy.select(binding.mqueues, msg)
         msg.meta["t_dispatched"] = self.env.now
         if server.tracer.enabled:
-            server.tracer.emit(server.name, "dispatch", mq.name)
+            server.tracer.emit(server.name, "dispatch", msg.msg_id, mq.name)
         self._dispatch(mq)
 
     def _dispatch(self, mq):
@@ -305,22 +305,25 @@ class _TxOp:
             binding.responses.count += 1
         if server.tracer.enabled:
             server.tracer.emit(server.name, "tx", self.response.msg_id)
-        # nic.send(response): serialize out of the port.
-        req = server.nic._tx.request()
+        # nic.send(response) through the TX channel: claim the port's
+        # issue slot, hold it for the wire occupancy, then deliver.
+        req = server.nic.tx.issue.request()
         self.request = req
         req.callbacks.append(self._wire_granted)
 
     def _wire_granted(self, _event):
-        nic = self.server.nic
-        charge = self.env.charge(self.response.wire_size / nic.link_rate)
+        tx = self.server.nic.tx
+        charge = self.env.charge(tx.occupancy(self.response.wire_size))
         charge.callbacks.append(self._wire_charged)
 
     def _wire_charged(self, _event):
         self.request.release()
         self.request = None
         nic = self.server.nic
-        nic.tx_rate.count += 1            # inlined RateMeter.tick()
         response = self.response
+        nic.tx.sent += 1                  # inlined Channel.transfer stats
+        nic.tx.bytes_moved += response.wire_size
+        nic.tx_rate.count += 1            # inlined RateMeter.tick()
         nic.network.deliver(response)
         self._finish()
 

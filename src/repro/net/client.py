@@ -13,7 +13,7 @@ methodology:
 
 from .. import units
 from ..errors import NetworkError
-from ..sim import LatencyRecorder, RateMeter, Store
+from ..sim import Channel, LatencyRecorder, RateMeter
 from .packet import Address, Message, TCP, UDP
 from .stack import TcpConnection
 
@@ -109,7 +109,7 @@ class Client:
         self.recv_cost = recv_cost
         self.name = name or "client-%s" % ip
         self.rng = rng
-        self.rx = Store(env, name="%s-rx" % self.name)
+        self.rx = Channel(env, name="%s-rx" % self.name)
         self.latency = LatencyRecorder(env, name="%s-latency" % self.name)
         self.responses = RateMeter(env, name="%s-rate" % self.name)
         self.sent = RateMeter(env, name="%s-sent" % self.name)

@@ -1,14 +1,46 @@
 """The physical network: endpoints, wire, and a ToR switch.
 
 The paper's testbed is a handful of machines behind one Mellanox SN2100
-cut-through switch.  Model: every NIC port attaches with an IP; a frame
-costs its serialization time on the sender port (charged by the NIC),
-then wire + switch-forwarding latency before landing in the receiver
-port's RX queue.
+cut-through switch.  Model: every NIC port attaches with an IP and gets
+a wire :class:`~repro.sim.Channel` (fixed wire + switch-forwarding
+latency, sinking into the port's RX ring); a frame costs its
+serialization time on the sender port (charged by the NIC's TX
+channel), then rides the receiver's wire channel before landing
+drop-tail in the RX ring.
 """
 
+from collections import deque
+
 from ..errors import NetworkError
-from ..sim import Counter
+from ..sim import Channel
+
+
+class _FabricCounters:
+    """Read-only aggregate over the per-endpoint wire channels.
+
+    Keeps the historical ``network.counters.get(key)`` surface while the
+    actual accounting lives on each wire Channel.
+    """
+
+    def __init__(self, network):
+        self._network = network
+
+    def get(self, key, default=0):
+        network = self._network
+        if key == "delivered":
+            return sum(ch.delivered for ch in network._channels.values())
+        if key == "dropped_rx_ring":
+            return sum(ch.dropped for ch in network._channels.values())
+        if key == "dropped_no_route":
+            return network.dropped_no_route
+        return default
+
+    def as_dict(self):
+        return {key: self.get(key) for key in
+                ("delivered", "dropped_rx_ring", "dropped_no_route")}
+
+    def __repr__(self):
+        return "<FabricCounters %r>" % (self.as_dict(),)
 
 
 class Network:
@@ -19,17 +51,36 @@ class Network:
         self.wire_latency = wire_latency
         self.switch_latency = switch_latency
         self._endpoints = {}
-        self.counters = Counter()
+        #: per-destination wire channels (created at attach time)
+        self._channels = {}
+        #: frames handed to deliver() whose routing kick is pending;
+        #: kicks drain FIFO at one timestamp, so order is preserved
+        self._routing = deque()
+        self.dropped_no_route = 0
+        self.counters = _FabricCounters(self)
 
     def attach(self, ip, endpoint):
         """Register *endpoint* (anything with an ``rx`` store) under *ip*."""
         if ip in self._endpoints:
             raise NetworkError("IP %s already attached" % ip)
         self._endpoints[ip] = endpoint
+        # Drop-tail at the receiver's RX ring: a finite NIC ring is what
+        # keeps an overloaded server stable instead of building an
+        # unbounded backlog.
+        self._channels[ip] = Channel(
+            self.env, name="wire->%s" % ip, latency=self.one_way_latency,
+            sink=endpoint.rx)
 
     def endpoint(self, ip):
         try:
             return self._endpoints[ip]
+        except KeyError:
+            raise NetworkError("no endpoint with IP %s" % ip)
+
+    def wire_channel(self, ip):
+        """The wire Channel feeding *ip*'s RX ring (for tests/stats)."""
+        try:
+            return self._channels[ip]
         except KeyError:
             raise NetworkError("no endpoint with IP %s" % ip)
 
@@ -40,22 +91,13 @@ class Network:
 
     def deliver(self, msg):
         """Fire-and-forget delivery of *msg* to its destination port."""
-        self.env._kick(lambda _evt, msg=msg: self._route(msg))
+        self._routing.append(msg)
+        self.env._kick(self._route)
 
-    def _route(self, msg):
-        endpoint = self._endpoints.get(msg.dst.ip)
-        if endpoint is None:
-            self.counters.inc("dropped_no_route")
+    def _route(self, _event):
+        msg = self._routing.popleft()
+        channel = self._channels.get(msg.dst.ip)
+        if channel is None:
+            self.dropped_no_route += 1
             return
-        self.env.defer(
-            2 * self.wire_latency + self.switch_latency,
-            lambda _evt, endpoint=endpoint, msg=msg: self._land(endpoint, msg))
-
-    def _land(self, endpoint, msg):
-        # Drop-tail at the receiver's RX ring: a finite NIC ring is what
-        # keeps an overloaded server stable instead of building an
-        # unbounded backlog.
-        if endpoint.rx.try_put(msg):
-            self.counters.inc("delivered")
-        else:
-            self.counters.inc("dropped_rx_ring")
+        channel.push(msg, nbytes=msg.wire_size)

@@ -6,14 +6,18 @@ engine, so no accelerator driver runs on the SNIC, and remote
 accelerators (behind their own RDMA NICs) look exactly like local ones.
 
 The engine model: posting a work request costs ``post_cost`` on the
-calling core (charged by the caller, not here).  The engine serializes
-payload movement at its bandwidth with a per-op issue gap; op latency
-then elapses in the pipeline, so independent ops overlap.  A QP to a
-remote accelerator adds ``remote_extra_latency`` per direction.
+calling core (charged by the caller, not here).  The engine is one
+serialized :class:`~repro.sim.Channel` (``engine.channel``): payload
+movement holds the channel's issue slot at the engine bandwidth with a
+per-op floor, then op latency elapses in the pipeline, so independent
+ops overlap.  A QP to a remote accelerator adds
+``remote_extra_latency`` per direction.  The RMQ manager's callback
+state machines post through the same channel, which is what keeps QP
+arbitration between ingress writes and egress poll reads fair.
 """
 
 from ..errors import ConfigError, NetworkError
-from ..sim import Resource
+from ..sim import Channel
 
 #: minimum issue gap between ops (engine message rate ~10M op/s)
 _MIN_OP_GAP = 0.1
@@ -56,7 +60,11 @@ class RdmaEngine:
         self.env = env
         self.profile = profile
         self.name = name
-        self._issue = Resource(env, 1, name="%s-issue" % name)
+        #: the engine pipe: every one-sided op serializes through here
+        self.channel = Channel(env, name="%s-pipe" % name, serialized=True,
+                               bandwidth=profile.bandwidth,
+                               min_occupancy=_MIN_OP_GAP)
+        self._issue = self.channel.issue  # legacy alias
         self.ops_posted = 0
 
     def connect(self, target, remote=False, name=None, qp_type=RC):
@@ -76,7 +84,14 @@ class RdmaEngine:
     # -- one-sided operations ------------------------------------------------
 
     def _occupancy(self, nbytes):
-        return max(nbytes / self.profile.bandwidth, _MIN_OP_GAP)
+        return self.channel.occupancy(nbytes)
+
+    def op_latency(self, qp, round_trips):
+        """Pipeline latency of one op on *qp* (completion after issue)."""
+        latency = self.profile.op_latency * round_trips
+        if qp.remote:
+            latency += self.profile.remote_extra_latency * round_trips
+        return latency
 
     def write(self, qp, nbytes):
         """Generator: one-sided RDMA write; completes when data is placed."""
@@ -102,28 +117,22 @@ class RdmaEngine:
         """
         if qp.qp_type != RC:
             raise NetworkError("RDMA reads require an RC queue pair")
-        with self._issue.request() as req:
-            yield req
-            yield self.env.charge(_MIN_OP_GAP)
+        yield from self.channel.transfer(
+            0, occupancy=_MIN_OP_GAP,
+            post_latency=self.profile.barrier_latency)
         qp.ops += 1
         self.ops_posted += 1
-        yield self.env.charge(self.profile.barrier_latency)
 
     def _op(self, qp, nbytes, round_trips):
         if qp.engine is not self:
             raise NetworkError("QP %s belongs to another engine" % qp.name)
         if nbytes < 0:
             raise ConfigError("negative RDMA size")
-        with self._issue.request() as req:
-            yield req
-            yield self.env.charge(self._occupancy(nbytes))
+        yield from self.channel.transfer(
+            nbytes, post_latency=self.op_latency(qp, round_trips))
         qp.ops += 1
         qp.bytes_moved += nbytes
         self.ops_posted += 1
-        latency = self.profile.op_latency * round_trips
-        if qp.remote:
-            latency += self.profile.remote_extra_latency * round_trips
-        yield self.env.charge(latency)
 
     # -- analytic helpers -----------------------------------------------------
 

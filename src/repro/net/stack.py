@@ -73,6 +73,11 @@ class NetworkStack:
         self.profile = profile
         self.name = name or profile.name
         self._listening = set()
+        # Stack hops emit on the environment tracer with the Channel
+        # layer's uniform (time, channel, event, msg_id, detail) schema;
+        # snapshotting None keeps the disabled path branch-free.
+        tracer = getattr(env, "tracer", None)
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
 
     # -- ports ---------------------------------------------------------------
 
@@ -101,6 +106,8 @@ class NetworkStack:
 
     def process_rx(self, msg):
         """Generator: charge receive-side processing of *msg*."""
+        if self._tracer is not None:
+            self._tracer.emit(self.name, "rx", msg.msg_id, msg.proto)
         yield from self.pool.run_calibrated(self.rx_cost(msg))
         if msg.proto == TCP and msg.conn is not None:
             msg.conn.deliver(msg)
@@ -109,6 +116,8 @@ class NetworkStack:
         """Generator: charge transmit-side processing and stamp TCP seq."""
         if msg.proto == TCP and msg.conn is not None:
             msg.meta["tcp_seq"] = msg.conn.next_seq(msg.src)
+        if self._tracer is not None:
+            self._tracer.emit(self.name, "tx", msg.msg_id, msg.proto)
         yield from self.pool.run_calibrated(self.tx_cost(msg))
 
     def handle_control(self, msg, nic):

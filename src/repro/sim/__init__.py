@@ -27,6 +27,7 @@ from .events import (
 )
 from .resources import Resource, Request
 from .store import Store, PriorityStore
+from .channel import Channel
 from .rng import RngRegistry
 from .stats import LatencyRecorder, RateMeter, TimeWeightedGauge, Counter
 from .trace import Tracer, NullTracer
@@ -50,6 +51,7 @@ __all__ = [
     "Request",
     "Store",
     "PriorityStore",
+    "Channel",
     "RngRegistry",
     "LatencyRecorder",
     "RateMeter",

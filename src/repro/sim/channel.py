@@ -1,0 +1,264 @@
+"""The unified data-movement hop (DESIGN.md §4.7).
+
+Every message-moving path in the model — wire links, the RDMA engine
+pipe, PCIe link directions, mqueue rings, doorbell mailboxes, the
+GPU-centric work rings — is an instance of one :class:`Channel`
+primitive: a bounded FIFO with an optional cost model (serialized issue
+slot, bandwidth occupancy, fixed latency), credit-based producer
+accounting for backpressure, batch dequeue, and uniform trace emission.
+
+Performance contract: a Channel with tracing disabled inherits the
+:class:`~.store.Store` fast paths untouched — ``put``/``get``/
+``try_put``/``try_get`` are the exact same bound methods, so the data
+plane pays nothing for the abstraction.  When the environment's tracer
+is enabled at construction time, the four methods are shadowed by
+traced variants **on the instance**, which keeps the tracing branch out
+of the default path entirely.  Trace emission never schedules events,
+so enabling tracing cannot perturb simulated results.
+
+Determinism contract: every cost helper consumes exactly the schedule
+slots of the open-coded sequences it replaced (issue request → charge
+occupancy → release → charge latency), so refactoring a component onto
+a Channel leaves fixed-seed results bit-identical.
+"""
+
+from collections import deque
+
+from ..errors import CapacityError, SimulationError
+from .events import Event
+from .resources import Resource
+from .store import Store
+
+
+def _msg_id(item):
+    """Best-effort message id of a queued item (for the trace schema)."""
+    mid = getattr(item, "msg_id", None)
+    if mid is not None:
+        return mid
+    msg = getattr(item, "request_msg", None)
+    if msg is not None:
+        return msg.msg_id
+    return None
+
+
+class Channel(Store):
+    """One typed hop between two components.
+
+    Parameters
+    ----------
+    capacity:
+        Bounded FIFO depth (ring entries); default unbounded.
+    latency:
+        Fixed traversal latency of the hop, charged by :meth:`push`
+        (fire-and-forget) or after the occupancy leg in :meth:`transfer`.
+    bandwidth:
+        Bytes/us used to derive per-transfer occupancy; ``None`` means
+        occupancy is just ``min_occupancy``.
+    min_occupancy:
+        Floor on the occupancy of one transfer (e.g. an engine's issue
+        gap, an AFU's admission interval).
+    serialized:
+        When True the channel owns an ``issue`` :class:`Resource` of
+        capacity one: transfers hold it for their occupancy, modelling
+        a serializing pipe (NIC TX serializer, RDMA engine, PCIe
+        direction).
+    sink:
+        Where :meth:`push` lands items after ``latency`` (any Store-like
+        with ``try_put``); defaults to this channel's own buffer.
+    """
+
+    def __init__(self, env, name=None, capacity=float("inf"), latency=0.0,
+                 bandwidth=None, min_occupancy=0.0, serialized=False,
+                 sink=None):
+        Store.__init__(self, env, capacity, name or "chan")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.min_occupancy = min_occupancy
+        self.issue = (Resource(env, 1, name="%s-issue" % self.name)
+                      if serialized else None)
+        self._sink = sink if sink is not None else self
+        #: items pushed but not yet landed; FIFO matches fire order
+        #: because every push on one channel defers the same latency
+        self._in_flight = deque()
+        # Producer credits: slots claimed for transfers still in flight
+        # plus items already buffered (the SNIC-side shadow-index view).
+        self._claimed = 0
+        self._credit_waiters = deque()
+        # Uniform per-hop statistics.
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.bytes_moved = 0
+        tracer = getattr(env, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            self._tracer = tracer
+            self.put = self._traced_put
+            self.get = self._traced_get
+            self.try_put = self._traced_try_put
+            self.try_get = self._traced_try_get
+        else:
+            self._tracer = None
+
+    # -- cost model --------------------------------------------------------
+
+    def occupancy(self, nbytes):
+        """Serialization time of *nbytes* on this hop."""
+        if self.bandwidth is None:
+            return self.min_occupancy
+        occ = nbytes / self.bandwidth
+        return occ if occ > self.min_occupancy else self.min_occupancy
+
+    def transfer(self, nbytes=0, occupancy=None, post_latency=None):
+        """Generator: move *nbytes* across the hop.
+
+        Claims the issue slot (if serialized), holds it for the
+        occupancy, releases, then lets ``post_latency`` (default: the
+        channel's fixed ``latency``) elapse in the pipeline — the exact
+        event sequence of the open-coded RDMA/PCIe/NIC paths it
+        replaces.  The caller decides where the item lands; this method
+        models time and accounts bytes only.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative transfer size on %s" % self.name)
+        if occupancy is None:
+            occupancy = self.occupancy(nbytes)
+        issue = self.issue
+        if issue is not None:
+            with issue.request() as req:
+                yield req
+                yield self.env.charge(occupancy)
+        else:
+            yield self.env.charge(occupancy)
+        self.sent += 1
+        self.bytes_moved += nbytes
+        if self._tracer is not None:
+            self._tracer.emit(self.name, "xfer", None, nbytes)
+        latency = self.latency if post_latency is None else post_latency
+        if latency:
+            yield self.env.charge(latency)
+
+    def push(self, item, nbytes=0):
+        """Fire-and-forget: land *item* in the sink after the hop latency.
+
+        Drop-tail on a full sink (the receiver counts nothing; the
+        channel's ``dropped`` statistic does).
+        """
+        self.sent += 1
+        self.bytes_moved += nbytes
+        self._in_flight.append(item)
+        self.env.defer(self.latency, self._land)
+
+    def _land(self, _event):
+        item = self._in_flight.popleft()
+        if self._sink.try_put(item):
+            self.delivered += 1
+            if self._tracer is not None:
+                self._tracer.emit(self.name, "deliver", _msg_id(item))
+        else:
+            self.dropped += 1
+            if self._tracer is not None:
+                self._tracer.emit(self.name, "drop", _msg_id(item))
+
+    # -- producer credits (backpressure) -----------------------------------
+
+    @property
+    def claimed(self):
+        """Slots claimed by producers (in flight + buffered)."""
+        return self._claimed
+
+    def try_claim(self):
+        """Reserve one slot for an in-flight transfer; False when full."""
+        if self._claimed >= self.capacity:
+            return False
+        self._claimed += 1
+        return True
+
+    def claim_wait(self):
+        """Event: fires holding one credit, once a slot is available.
+
+        This is the credit-based backpressure signal: a producer that
+        would overflow parks on this event instead of dropping, and is
+        woken (credit in hand) when a consumer frees a slot.
+        """
+        event = Event(self.env)
+        if self._claimed < self.capacity:
+            self._claimed += 1
+            event.succeed()
+        else:
+            self._credit_waiters.append(event)
+        return event
+
+    def release_claim(self):
+        """Return one credit (consumer freed a slot, or claim expired)."""
+        if self._claimed <= 0:
+            raise CapacityError("releasing an unclaimed slot on %s"
+                                % self.name)
+        waiters = self._credit_waiters
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.triggered:
+                # Hand the freed credit straight to the parked producer.
+                waiter.succeed()
+                return
+        self._claimed -= 1
+
+    def abort_claim(self):
+        """Alias of :meth:`release_claim` for a failed delivery."""
+        self.release_claim()
+
+    def complete_claim(self, item):
+        """Finish a claimed in-flight transfer: *item* becomes visible.
+
+        The put cannot block — claim accounting guarantees space.
+        """
+        if self._claimed <= 0:
+            raise CapacityError("completing an unclaimed slot on %s"
+                                % self.name)
+        self.delivered += 1
+        put = Store.put(self, item)
+        if not put.triggered:
+            raise CapacityError("overflow on %s despite claim" % self.name)
+        if self._tracer is not None:
+            self._tracer.emit(self.name, "enq", _msg_id(item))
+        return put
+
+    # -- batch dequeue -----------------------------------------------------
+
+    def recv_batch(self, max_items=0):
+        """Drain up to *max_items* immediately-available items (0 = all)."""
+        out = []
+        try_get = self.try_get
+        while max_items <= 0 or len(out) < max_items:
+            item = try_get()
+            if item is None:
+                break
+            out.append(item)
+        return out
+
+    # -- traced method shadows (installed per instance when tracing) -------
+
+    def _traced_put(self, item):
+        self._tracer.emit(self.name, "enq", _msg_id(item))
+        return Store.put(self, item)
+
+    def _traced_get(self):
+        get = Store.get(self)
+        get.callbacks.append(
+            lambda evt: self._tracer.emit(self.name, "deq", _msg_id(evt._value)))
+        return get
+
+    def _traced_try_put(self, item):
+        ok = Store.try_put(self, item)
+        self._tracer.emit(self.name, "enq" if ok else "drop", _msg_id(item))
+        return ok
+
+    def _traced_try_get(self):
+        item = Store.try_get(self)
+        if item is not None:
+            self._tracer.emit(self.name, "deq", _msg_id(item))
+        return item
+
+    def __repr__(self):
+        return "<Channel %s depth=%d claimed=%d sent=%d dropped=%d>" % (
+            self.name, len(self._items), self._claimed, self.sent,
+            self.dropped)

@@ -31,6 +31,7 @@ from ..errors import SimulationError
 from .events import (
     Event, Timeout, Charge, Process, Task, NORMAL, URGENT, any_of, all_of,
 )
+from .trace import NullTracer
 
 #: Max events/tasks kept on a free list (per environment).
 _POOL_CAP = 4096
@@ -86,6 +87,9 @@ class Environment:
         self._charge_pool = []
         self._task_pool = []
         self._immediate_event = None
+        #: the environment-wide tracer Channels snapshot at construction
+        #: (testbeds install a real Tracer here before building hardware)
+        self.tracer = NullTracer()
         # Kernel counters (cheap plain-int bumps; see kernel_stats()).
         self.events_processed = 0
         self.processes_spawned = 0

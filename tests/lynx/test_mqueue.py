@@ -78,6 +78,55 @@ class TestRxRing:
         assert mq.rx_occupancy == 0
 
 
+class TestWraparound:
+    def test_ring_wraps_fifo_over_three_generations(self, env, memory):
+        mq = MQueue(env, memory, 4)
+        popped = []
+
+        def cycle(env):
+            for i in range(12):
+                assert mq.claim_rx_slot()
+                mq.complete_rx(make_entry(payload=b"p%d" % i))
+                if (i + 1) % 4 == 0:  # drain a full ring generation
+                    for _ in range(4):
+                        entry = yield mq.pop_rx()
+                        popped.append(entry.payload)
+
+        env.process(cycle(env))
+        env.run()
+        assert popped == [b"p%d" % i for i in range(12)]
+        assert mq.rx_occupancy == 0
+        assert mq.delivered == 12
+        assert mq.dropped == 0
+
+
+class TestBackpressure:
+    def test_parked_producer_resumes_when_consumer_frees_slot(self, env,
+                                                              memory):
+        mq = MQueue(env, memory, 1)
+        assert mq.claim_rx_slot()
+        mq.complete_rx(make_entry(b"first"))
+        order = []
+
+        def producer(env):
+            yield mq.rx_ring.claim_wait()  # ring full: parked on credits
+            order.append("granted")
+            mq.complete_rx(make_entry(b"second"))
+
+        def consumer(env):
+            yield env.charge(3.0)
+            entry = yield mq.pop_rx()
+            order.append("popped-" + entry.payload.decode())
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert order == ["popped-first", "granted"]
+        assert len(mq.rx_ring) == 1
+        assert mq.delivered == 2
+        assert mq.dropped == 0
+
+
 class TestTxRing:
     def test_doorbell_requires_registration(self, env, memory):
         mq = MQueue(env, memory, 4)

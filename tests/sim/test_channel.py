@@ -1,0 +1,190 @@
+"""The unified Channel hop (DESIGN.md §4.7)."""
+
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.sim import Channel, Environment, Tracer
+from repro.sim.trace import clear_enabled_tracers
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBuffering:
+    def test_fifo_order(self, env):
+        ch = Channel(env, name="fifo")
+        for item in ("a", "b", "c"):
+            ch.put(item)
+        assert [ch.try_get() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_capacity_bounds_try_put(self, env):
+        ch = Channel(env, name="ring", capacity=2)
+        assert ch.try_put(1)
+        assert ch.try_put(2)
+        assert not ch.try_put(3)
+
+    def test_recv_batch_bounded_and_unbounded(self, env):
+        ch = Channel(env, name="batch")
+        for i in range(5):
+            ch.put(i)
+        assert ch.recv_batch(max_items=2) == [0, 1]
+        assert ch.recv_batch() == [2, 3, 4]
+        assert ch.recv_batch() == []
+
+
+class TestCostModel:
+    def test_occupancy_from_bandwidth(self, env):
+        ch = Channel(env, bandwidth=100.0)  # bytes/us
+        assert ch.occupancy(500) == pytest.approx(5.0)
+
+    def test_min_occupancy_floor(self, env):
+        ch = Channel(env, bandwidth=100.0, min_occupancy=0.5)
+        assert ch.occupancy(1) == pytest.approx(0.5)
+        assert ch.occupancy(500) == pytest.approx(5.0)
+
+    def test_occupancy_without_bandwidth_is_floor(self, env):
+        ch = Channel(env, min_occupancy=0.25)
+        assert ch.occupancy(10 ** 6) == pytest.approx(0.25)
+
+    def test_transfer_charges_occupancy_then_latency(self, env):
+        ch = Channel(env, bandwidth=100.0, latency=2.0)
+
+        def proc(env):
+            yield from ch.transfer(100)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(1.0 + 2.0)
+        assert ch.sent == 1
+        assert ch.bytes_moved == 100
+
+    def test_post_latency_overrides_channel_latency(self, env):
+        ch = Channel(env, bandwidth=100.0, latency=2.0)
+
+        def proc(env):
+            yield from ch.transfer(100, post_latency=0.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(1.0)
+
+    def test_serialized_transfers_queue_on_issue_slot(self, env):
+        ch = Channel(env, serialized=True, bandwidth=10.0)
+        ends = []
+
+        def proc(env):
+            yield from ch.transfer(100)  # 10us occupancy each
+            ends.append(env.now)
+
+        for _ in range(3):
+            env.process(proc(env))
+        env.run()
+        assert ends == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_negative_transfer_rejected(self, env):
+        ch = Channel(env)
+        with pytest.raises(SimulationError):
+            next(ch.transfer(-1))
+
+
+class TestPush:
+    def test_push_lands_after_latency(self, env):
+        ch = Channel(env, name="wire", latency=3.0)
+        ch.push("pkt")
+        assert ch.try_get() is None
+        env.run()
+        assert env.now == pytest.approx(3.0)
+        assert ch.try_get() == "pkt"
+        assert ch.delivered == 1
+
+    def test_push_into_full_sink_counts_drop(self, env):
+        sink = Channel(env, name="rx", capacity=1)
+        wire = Channel(env, name="wire", latency=1.0, sink=sink)
+        wire.push("a")
+        wire.push("b")
+        env.run()
+        assert sink.try_get() == "a"
+        assert wire.delivered == 1
+        assert wire.dropped == 1
+
+
+class TestCredits:
+    def test_try_claim_respects_capacity(self, env):
+        ch = Channel(env, capacity=2)
+        assert ch.try_claim()
+        assert ch.try_claim()
+        assert not ch.try_claim()
+        assert ch.claimed == 2
+
+    def test_release_without_claim_raises(self, env):
+        ch = Channel(env, capacity=2)
+        with pytest.raises(CapacityError):
+            ch.release_claim()
+
+    def test_complete_claim_makes_item_visible(self, env):
+        ch = Channel(env, capacity=1)
+        assert ch.try_claim()
+        ch.complete_claim("item")
+        assert len(ch) == 1
+        assert ch.delivered == 1
+
+    def test_complete_without_claim_raises(self, env):
+        ch = Channel(env, capacity=1)
+        with pytest.raises(CapacityError):
+            ch.complete_claim("item")
+
+    def test_claim_wait_blocks_producer_until_consumer_frees(self, env):
+        ch = Channel(env, capacity=1)
+        assert ch.try_claim()
+        ch.complete_claim("first")
+        log = []
+
+        def producer(env):
+            yield ch.claim_wait()  # parked: ring is full
+            log.append(("granted", env.now))
+            ch.complete_claim("second")
+
+        def consumer(env):
+            yield env.charge(5.0)
+            item = ch.try_get()
+            log.append(("popped", item, env.now))
+            ch.release_claim()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log[0] == ("popped", "first", 5.0)
+        assert log[1] == ("granted", 5.0)
+        assert ch.try_get() == "second"
+
+    def test_claim_wait_succeeds_immediately_with_space(self, env):
+        ch = Channel(env, capacity=2)
+        event = ch.claim_wait()
+        assert event.triggered
+        assert ch.claimed == 1
+
+
+class TestTracing:
+    def test_channel_emits_uniform_schema(self, env):
+        env.tracer = Tracer(env, enabled=True)
+        try:
+            ch = Channel(env, name="traced", latency=1.0)
+            ch.push("x")
+            env.run()
+            ch.try_get()
+            events = [rec[2] for rec in env.tracer.filter(channel="traced")]
+            assert "deliver" in events
+            assert "deq" in events
+            for rec in env.tracer.records:
+                assert len(rec) == 5
+        finally:
+            clear_enabled_tracers()
+
+    def test_disabled_tracer_keeps_store_fast_paths(self, env):
+        ch = Channel(env, name="fast")
+        assert ch._tracer is None
+        assert type(ch).put.__get__(ch) == ch.put

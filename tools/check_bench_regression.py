@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Fail if the kernel-throughput benchmarks regressed vs a baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BASELINE.json CURRENT.json \
+        [--threshold 0.15]
+
+Both files are ``benchmarks/results/kernel_throughput.json`` artifacts
+(the committed one for the baseline, the freshly measured one for the
+current run).  Raw wall-clock is machine-dependent, so each experiment
+section's ``measured_seconds`` is first divided by that file's own
+``machine_speed_factor`` (the calibration-loop ratio the benchmark
+records); the check fails when any normalized time grew more than
+``--threshold`` (default 15%) over the baseline.
+
+Sections present on only one side are skipped with a note — a freshly
+added benchmark has no baseline to regress against.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _normalized_seconds(section):
+    measured = section.get("measured_seconds")
+    factor = section.get("machine_speed_factor")
+    if measured is None or not factor:
+        return None
+    return measured / factor
+
+
+def compare(baseline, current, threshold):
+    """Return a list of (section, base_norm, cur_norm, ratio) failures."""
+    failures = []
+    for name, base_section in baseline.items():
+        base_norm = _normalized_seconds(base_section)
+        if base_norm is None:
+            continue  # e.g. the kernel_churn section: rate-based, not timed
+        cur_section = current.get(name)
+        if cur_section is None:
+            print("note: section %r missing from current results" % name)
+            continue
+        cur_norm = _normalized_seconds(cur_section)
+        if cur_norm is None:
+            print("note: section %r has no timing in current results" % name)
+            continue
+        ratio = cur_norm / base_norm
+        status = "FAIL" if ratio > 1.0 + threshold else "ok"
+        print("%-32s baseline %8.3fs  current %8.3fs  ratio %.3f  %s"
+              % (name, base_norm, cur_norm, ratio, status))
+        if ratio > 1.0 + threshold:
+            failures.append((name, base_norm, cur_norm, ratio))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed kernel_throughput.json")
+    parser.add_argument("current", help="freshly measured kernel_throughput.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        for name, base_norm, cur_norm, ratio in failures:
+            print("regression: %s is %.1f%% slower than baseline "
+                  "(%.3fs -> %.3fs, machine-normalized)"
+                  % (name, (ratio - 1.0) * 100.0, base_norm, cur_norm),
+                  file=sys.stderr)
+        return 1
+    print("no benchmark regressions beyond %.0f%%" % (args.threshold * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
