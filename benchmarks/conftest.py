@@ -12,11 +12,33 @@ import os
 
 import pytest
 
+from repro.experiments import sweep
+
 #: full sweeps when REPRO_FULL=1, trimmed ones otherwise
 FAST = os.environ.get("REPRO_FULL", "") != "1"
 SEED = int(os.environ.get("REPRO_SEED", "42"))
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan experiment sweep points across N worker processes "
+             "(default: $REPRO_JOBS or 1; results are bit-identical "
+             "to a serial run)")
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs", default=None)
+    if jobs is not None:
+        if jobs < 1:
+            raise pytest.UsageError("--jobs must be >= 1")
+        sweep.configure(jobs)
+
+
+def pytest_unconfigure(config):
+    sweep.configure(None)
 
 
 @pytest.fixture

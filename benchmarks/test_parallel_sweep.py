@@ -1,0 +1,88 @@
+"""Serial-vs-parallel wall-clock of the sweep executor on the E04 grid.
+
+Runs the fast Fig 6 saturation grid twice through
+:func:`repro.experiments.sweep.run_points` — once inline (``jobs=1``),
+once fanned over four workers — and records both times plus their
+ratio to ``benchmarks/results/parallel_sweep.json``.
+
+Two gates:
+
+* the parallel run must return exactly the serial values (the executor
+  contract, cheap to re-assert here since we have both runs anyway);
+* on machines with enough cores the fan-out must actually pay: >= 2x
+  with four cores, a softer floor with two.  On one core the ratio is
+  recorded but not asserted — a process pool cannot beat inline
+  execution without parallel hardware.
+
+The ``e04_parallel_jobs4`` section carries ``measured_seconds`` and
+``machine_speed_factor``, so ``tools/check_bench_regression.py`` gates
+the parallel-path wall-clock against the committed baseline like any
+other timed benchmark.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import e04_fig6_throughput_grid as e04
+from repro.experiments import sweep
+
+from conftest import RESULTS_DIR, SEED
+from test_kernel_throughput import BASELINE_CALIBRATION_SECONDS, _calibration_loop
+
+RESULTS_PATH = os.path.join(RESULTS_DIR, "parallel_sweep.json")
+
+JOBS = 4
+
+
+def _save(section, payload):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as fh:
+            data = json.load(fh)
+    data[section] = payload
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(data, fh, indent=2)
+
+
+def test_parallel_sweep_speedup():
+    calib = min(_calibration_loop() for _ in range(2))
+    factor = calib / BASELINE_CALIBRATION_SECONDS
+
+    points = e04.sweep_points(fast=True, seed=SEED)
+
+    t0 = time.perf_counter()
+    serial_values = sweep.run_points(points, jobs=1)
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel_values = sweep.run_points(points, jobs=JOBS)
+    parallel_seconds = time.perf_counter() - t0
+
+    speedup = serial_seconds / parallel_seconds
+    cores = os.cpu_count() or 1
+    _save("e04_parallel_jobs4", {
+        "points": len(points),
+        "jobs": JOBS,
+        "cpu_count": cores,
+        "serial_seconds": round(serial_seconds, 3),
+        "measured_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 2),
+        "machine_speed_factor": round(factor, 3),
+        "calibration_seconds": round(calib, 4),
+    })
+
+    assert parallel_values == serial_values, (
+        "parallel sweep values diverged from the serial run")
+
+    if cores >= JOBS:
+        floor = 2.0
+    elif cores >= 2:
+        floor = 1.2
+    else:
+        return  # single core: ratio recorded, nothing to assert
+    assert speedup >= floor, (
+        "jobs=%d sweep only %.2fx faster than serial on %d cores "
+        "(%.1fs vs %.1fs); floor %.1fx"
+        % (JOBS, speedup, cores, parallel_seconds, serial_seconds, floor))

@@ -1,13 +1,22 @@
 """LeNet-5 digit-recognition serving (the §6.3 workload)."""
 
-from .model import LeNet5, conv2d_valid, maxpool2, relu
+from .model import (
+    LeNet5,
+    conv2d_valid,
+    conv2d_valid_batch,
+    maxpool2,
+    maxpool2_batch,
+    relu,
+)
 from .mnist import MnistStream, image_bytes, render_digit, template_set
 from .server import LeNetApp
 
 __all__ = [
     "LeNet5",
     "conv2d_valid",
+    "conv2d_valid_batch",
     "maxpool2",
+    "maxpool2_batch",
     "relu",
     "MnistStream",
     "image_bytes",

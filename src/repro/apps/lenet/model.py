@@ -44,6 +44,25 @@ def conv2d_valid(x, weights, bias):
     return out.reshape(k, oh, ow)
 
 
+def conv2d_valid_batch(x, weights, bias):
+    """Valid-mode 2D convolution over a batch: x[N,C,H,W] * w[K,C,R,S].
+
+    Same im2col trick as :func:`conv2d_valid`, with the window view
+    taken over the two spatial axes and the batch axis broadcast
+    through one stacked matmul ``(K,CRS) @ (N,CRS,OHOW)``.
+    """
+    n, c, h, w = x.shape
+    k, wc, r, s = weights.shape
+    if wc != c:
+        raise ConfigError("conv channel mismatch: %d vs %d" % (wc, c))
+    oh, ow = h - r + 1, w - s + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (oh, ow),
+                                                       axis=(2, 3))
+    cols = windows.reshape(n, c * r * s, oh * ow)
+    out = weights.reshape(k, -1) @ cols + bias[:, None]
+    return out.reshape(n, k, oh, ow)
+
+
 def maxpool2(x):
     """2x2 max pooling with stride 2 over x[C,H,W]."""
     c, h, w = x.shape
@@ -51,24 +70,48 @@ def maxpool2(x):
     return x.reshape(c, h // 2, 2, w // 2, 2).max(axis=(2, 4))
 
 
+def maxpool2_batch(x):
+    """2x2 max pooling with stride 2 over x[N,C,H,W]."""
+    n, c, h, w = x.shape
+    x = x[:, :, :h - h % 2, :w - w % 2]
+    return x.reshape(n, c, h // 2, 2, w // 2, 2).max(axis=(3, 5))
+
+
 def relu(x):
     return np.maximum(x, 0.0)
+
+
+#: per-process cache of He-initialized weight tensors, keyed by seed.
+#: Sweep workers build a fresh ``LeNet5`` per point; re-drawing the
+#: same seeded weights each time is pure waste, and copying out of the
+#: cache keeps instances free to mutate (calibration rewrites fc3).
+_WEIGHT_CACHE = {}
+
+
+def _init_weights(seed):
+    cached = _WEIGHT_CACHE.get(seed)
+    if cached is None:
+        rng = np.random.default_rng(seed)
+        cached = _WEIGHT_CACHE[seed] = (
+            _he(rng, 6, 1, 5, 5),
+            _he(rng, 16, 6, 5, 5),
+            _he(rng, 120, 16 * 4 * 4),
+            _he(rng, 84, 120),
+            _he(rng, 10, 84),
+        )
+    return tuple(w.copy() for w in cached)
 
 
 class LeNet5:
     """The classic LeNet-5 architecture (28x28 grayscale -> 10 logits)."""
 
     def __init__(self, seed=1998):
-        rng = np.random.default_rng(seed)
-        self.conv1_w = _he(rng, 6, 1, 5, 5)
+        (self.conv1_w, self.conv2_w, self.fc1_w, self.fc2_w,
+         self.fc3_w) = _init_weights(seed)
         self.conv1_b = np.zeros(6)
-        self.conv2_w = _he(rng, 16, 6, 5, 5)
         self.conv2_b = np.zeros(16)
-        self.fc1_w = _he(rng, 120, 16 * 4 * 4)
         self.fc1_b = np.zeros(120)
-        self.fc2_w = _he(rng, 84, 120)
         self.fc2_b = np.zeros(84)
-        self.fc3_w = _he(rng, 10, 84)
         self.fc3_b = np.zeros(10)
 
     def forward(self, image):
@@ -83,9 +126,34 @@ class LeNet5:
         x = relu(self.fc2_w @ x + self.fc2_b)
         return self.fc3_w @ x + self.fc3_b
 
+    def forward_batch(self, images):
+        """Batched inference; returns an [N, 10] logit matrix.
+
+        *images* is an ``[N, 28, 28]`` array (or any iterable of the
+        per-image formats :meth:`forward` accepts).  One vectorized
+        pass through the batched im2col conv stack — identical math to
+        N calls of :meth:`forward`, minus the python loop.
+        """
+        feats = self._features_batch(self._prepare_batch(images))
+        return feats @ self.fc3_w.T + self.fc3_b
+
     def classify(self, image):
         """Most likely digit for *image* (28x28 bytes or float array)."""
         return int(np.argmax(self.forward(image)))
+
+    def classify_batch(self, images):
+        """Most likely digit per image; returns a length-N int array."""
+        return np.argmax(self.forward_batch(images), axis=1)
+
+    def _features_batch(self, x):
+        """Penultimate (fc2) activations for a prepared [N,1,28,28] batch."""
+        x = relu(conv2d_valid_batch(x, self.conv1_w, self.conv1_b))
+        x = maxpool2_batch(x)                                    # Nx6x12x12
+        x = relu(conv2d_valid_batch(x, self.conv2_w, self.conv2_b))
+        x = maxpool2_batch(x)                                    # Nx16x4x4
+        x = x.reshape(x.shape[0], -1)
+        x = relu(x @ self.fc1_w.T + self.fc1_b)
+        return relu(x @ self.fc2_w.T + self.fc2_b)
 
     @staticmethod
     def _prepare(image):
@@ -98,6 +166,17 @@ class LeNet5:
         arr = arr.reshape(1, IMAGE_SIDE, IMAGE_SIDE)
         return arr / 255.0 - 0.5
 
+    @staticmethod
+    def _prepare_batch(images):
+        if isinstance(images, np.ndarray) and images.ndim == 3:
+            if images.shape[1:] != (IMAGE_SIDE, IMAGE_SIDE):
+                raise ConfigError(
+                    "LeNet batch expects [N, %d, %d] images, got %r"
+                    % (IMAGE_SIDE, IMAGE_SIDE, images.shape))
+            return np.asarray(images, dtype=np.float64)[:, None] \
+                / 255.0 - 0.5
+        return np.stack([LeNet5._prepare(image) for image in images])
+
     def calibrate_to_templates(self, images_by_digit):
         """Teach the last layer to separate the given digit templates.
 
@@ -108,17 +187,8 @@ class LeNet5:
         """
         feats = {}
         for digit, images in images_by_digit.items():
-            acc = []
-            for image in images:
-                x = self._prepare(image)
-                x = relu(conv2d_valid(x, self.conv1_w, self.conv1_b))
-                x = maxpool2(x)
-                x = relu(conv2d_valid(x, self.conv2_w, self.conv2_b))
-                x = maxpool2(x).reshape(-1)
-                x = relu(self.fc1_w @ x + self.fc1_b)
-                x = relu(self.fc2_w @ x + self.fc2_b)
-                acc.append(x)
-            feats[digit] = np.mean(acc, axis=0)
+            batch = self._prepare_batch(list(images))
+            feats[digit] = self._features_batch(batch).mean(axis=0)
         for digit in range(NUM_CLASSES):
             if digit not in feats:
                 raise ConfigError("missing templates for digit %d" % digit)

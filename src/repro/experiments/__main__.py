@@ -15,7 +15,7 @@ import time
 from dataclasses import replace
 
 from . import REGISTRY
-from . import ablations, breakdown
+from . import ablations, breakdown, sweep
 from . import testbed as testbed_mod
 from ..config import DEFAULT_CONFIG
 from ..sim import kernel_totals, reset_kernel_totals
@@ -60,6 +60,10 @@ def main(argv=None):
     parser.add_argument("--extras", action="store_true",
                         help="also run the latency breakdown and the "
                              "design-choice ablations")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan sweep points across N worker processes "
+                             "(default: $REPRO_JOBS or 1; results are "
+                             "bit-identical to a serial run)")
     parser.add_argument("--kernel-stats", action="store_true",
                         help="after the runs, print the simulator kernel's "
                              "own throughput counters (events processed, "
@@ -98,6 +102,16 @@ def main(argv=None):
     if args.trace_channel:
         overrides["trace"] = True
 
+    jobs = args.jobs
+    if jobs is not None and jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.trace_channel and (jobs or sweep.active_jobs()) > 1:
+        # Tracers live in the worker processes; their records would be
+        # lost.  Tracing implies a serial run.
+        print("note: --trace-channel forces --jobs 1 "
+              "(traces live in worker processes)", file=sys.stderr)
+        jobs = 1
+
     if args.list:
         for exp_id in sorted(REGISTRY):
             module = REGISTRY[exp_id]
@@ -116,6 +130,7 @@ def main(argv=None):
 
     if overrides:
         testbed_mod.set_active_config(DEFAULT_CONFIG.with_(**overrides))
+    sweep.configure(jobs)
     try:
         for exp_id in wanted:
             start = time.time()
@@ -133,6 +148,7 @@ def main(argv=None):
                 print(study(fast=not args.full, seed=args.seed).render())
                 print()
     finally:
+        sweep.configure(None)
         if overrides:
             testbed_mod.set_active_config(None)
         trace_mod.clear_enabled_tracers()

@@ -14,6 +14,10 @@ DESIGN.md calls out and quantifies it on the simulator.
   under bursty overload.
 * :func:`sweep_interval_study` — the Remote MQ Manager's TX poll cadence
   vs latency and SNIC core burn.
+
+Every study declares its grid as sweep :class:`~.sweep.Point`\\ s
+(module-level builders, picklable kwargs), so ``--jobs N`` fans the
+whole ``--extras`` suite across worker processes.
 """
 
 from dataclasses import replace
@@ -26,6 +30,7 @@ from ..net import Address, ClosedLoopGenerator, OpenLoopGenerator
 from ..net.packet import UDP
 from .base import ExperimentResult, krps
 from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, measure_closed_loop
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 
@@ -33,21 +38,13 @@ from .testbed import Testbed
 # Lynx vs GPU-centric
 # ---------------------------------------------------------------------------
 
-def gpu_centric_comparison(fast=True, seed=42):
-    """Compute-bound service: Lynx frees the GPU resources the
-    GPU-centric design spends on its network stack."""
-    result = ExperimentResult(
-        "ABL-GC", "Lynx vs GPU-centric (GPU-side network stack)",
-        "§3.3 ablation")
-    measure = 60000.0 if fast else 200000.0
-    kernel_us = 200.0
-    app = SpinApp(kernel_us)
+_GC_KERNEL_US = 200.0
 
-    # Lynx: every threadblock serves the application.  Compare on equal
-    # CPU silicon (Lynx on the host Xeon) so the delta isolates the GPU
-    # resources the GPU-centric stack consumes, not ARM-vs-Xeon speed.
-    dep = deploy(LYNX_XEON_6, app=app, n_mqueues=240, proto=UDP,
-                 seed=seed)
+
+def _gc_lynx_point(measure, seed=42):
+    """Lynx on the host Xeon: every threadblock serves the app."""
+    dep = deploy(LYNX_XEON_6, app=SpinApp(_GC_KERNEL_US), n_mqueues=240,
+                 proto=UDP, seed=seed)
     clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
     for c in clients:
         ClosedLoopGenerator(dep.env, c, dep.address, concurrency=300,
@@ -55,28 +52,50 @@ def gpu_centric_comparison(fast=True, seed=42):
                             timeout=100000)
     dep.tb.warmup_then_measure([c.responses for c in clients], 20000.0,
                                measure)
-    lynx_tput = sum(c.responses.per_sec() for c in clients)
+    return sum(c.responses.per_sec() for c in clients)
+
+
+def _gc_point(io_tbs, measure, seed=42):
+    """GPU-centric: *io_tbs* I/O threadblocks carved out of the GPU."""
+    tb = Testbed(seed=seed)
+    env = tb.env
+    host = tb.machine("10.0.0.1")
+    gpu = host.add_gpu(K40M)
+    GpuCentricServer(env, host, gpu, SpinApp(_GC_KERNEL_US), port=7777,
+                     app_threadblocks=240 - io_tbs,
+                     io_threadblocks=io_tbs, helper_cores=3)
+    gc_clients = [tb.client("10.0.9.%d" % i) for i in (1, 2)]
+    for c in gc_clients:
+        ClosedLoopGenerator(env, c, Address("10.0.0.1", 7777),
+                            concurrency=300,
+                            payload_fn=lambda i: b"x" * 64,
+                            proto=RDMA_PROTO, timeout=100000)
+    tb.warmup_then_measure([c.responses for c in gc_clients], 20000.0,
+                           measure)
+    return sum(c.responses.per_sec() for c in gc_clients)
+
+
+def gpu_centric_comparison(fast=True, seed=42, jobs=None):
+    """Compute-bound service: Lynx frees the GPU resources the
+    GPU-centric design spends on its network stack."""
+    result = ExperimentResult(
+        "ABL-GC", "Lynx vs GPU-centric (GPU-side network stack)",
+        "§3.3 ablation")
+    measure = 60000.0 if fast else 200000.0
+    io_tb_counts = (16, 40, 80)
+    # Compare on equal CPU silicon (Lynx on the host Xeon) so the delta
+    # isolates the GPU resources the GPU-centric stack consumes, not
+    # ARM-vs-Xeon speed.
+    points = [Point(("ABL-GC", "lynx"), _gc_lynx_point,
+                    dict(measure=measure), root_seed=seed)]
+    points += [Point(("ABL-GC", io_tbs), _gc_point,
+                     dict(io_tbs=io_tbs, measure=measure), root_seed=seed)
+               for io_tbs in io_tb_counts]
+    values = run_points(points, jobs=jobs)
+    lynx_tput = values[0]
     result.add(design="lynx-on-xeon-6core", app_threadblocks=240,
                krps=krps(lynx_tput), relative=1.0)
-
-    # GPU-centric: I/O threadblocks are carved out of the same GPU.
-    for io_tbs in (16, 40, 80):
-        tb = Testbed(seed=seed)
-        env = tb.env
-        host = tb.machine("10.0.0.1")
-        gpu = host.add_gpu(K40M)
-        GpuCentricServer(env, host, gpu, app, port=7777,
-                         app_threadblocks=240 - io_tbs,
-                         io_threadblocks=io_tbs, helper_cores=3)
-        gc_clients = [tb.client("10.0.9.%d" % i) for i in (1, 2)]
-        for c in gc_clients:
-            ClosedLoopGenerator(env, c, Address("10.0.0.1", 7777),
-                                concurrency=300,
-                                payload_fn=lambda i: b"x" * 64,
-                                proto=RDMA_PROTO, timeout=100000)
-        tb.warmup_then_measure([c.responses for c in gc_clients], 20000.0,
-                               measure)
-        tput = sum(c.responses.per_sec() for c in gc_clients)
+    for io_tbs, tput in zip(io_tb_counts, values[1:]):
         result.add(design="gpu-centric (%d I/O TBs)" % io_tbs,
                    app_threadblocks=240 - io_tbs, krps=krps(tput),
                    relative=round(tput / lynx_tput, 3))
@@ -89,40 +108,50 @@ def gpu_centric_comparison(fast=True, seed=42):
 # Dispatch policies under skew
 # ---------------------------------------------------------------------------
 
-def dispatch_policy_study(fast=True, seed=42):
+class SkewedApp(SpinApp):
+    """1 in 8 requests is 10x more expensive."""
+
+    name = "skewed"
+
+    def __init__(self):
+        super().__init__(40.0)
+        self._count = 0
+
+    def handle(self, ctx, entry):
+        self._count += 1
+        duration = 400.0 if self._count % 8 == 0 else 40.0
+        yield from ctx.compute(duration)
+        return b"done"
+
+
+def _dispatch_point(policy_name, measure, seed=42):
+    dep = deploy(LYNX_BLUEFIELD, app=SkewedApp(), n_mqueues=8,
+                 proto=UDP, seed=seed)
+    binding = dep.server._ports[7777]
+    binding.policy = make_policy(policy_name)
+    tput, latency = measure_closed_loop(
+        dep, lambda i: b"x" * 64, concurrency=16, warmup=20000.0,
+        measure=measure)
+    return tput, latency.p50(), latency.p99()
+
+
+def dispatch_policy_study(fast=True, seed=42, jobs=None):
     """Skewed per-request service times: least-loaded shines, steering
     pins clients, round-robin splits the difference."""
     result = ExperimentResult(
         "ABL-DP", "Dispatch policies under skewed request cost",
         "§4.2 ablation")
     measure = 60000.0 if fast else 200000.0
-
-    class SkewedApp(SpinApp):
-        """1 in 8 requests is 10x more expensive."""
-
-        name = "skewed"
-
-        def __init__(self):
-            super().__init__(40.0)
-            self._count = 0
-
-        def handle(self, ctx, entry):
-            self._count += 1
-            duration = 400.0 if self._count % 8 == 0 else 40.0
-            yield from ctx.compute(duration)
-            return b"done"
-
-    for policy_name in ("round-robin", "least-loaded", "steering"):
-        dep = deploy(LYNX_BLUEFIELD, app=SkewedApp(), n_mqueues=8,
-                     proto=UDP, seed=seed)
-        binding = dep.server._ports[7777]
-        binding.policy = make_policy(policy_name)
-        tput, latency = measure_closed_loop(
-            dep, lambda i: b"x" * 64, concurrency=16, warmup=20000.0,
-            measure=measure)
-        result.add(policy=policy_name, krps=krps(tput),
-                   p50_us=round(latency.p50(), 1),
-                   p99_us=round(latency.p99(), 1))
+    policies = ("round-robin", "least-loaded", "steering")
+    points = [Point(("ABL-DP", policy), _dispatch_point,
+                    dict(policy_name=policy, measure=measure),
+                    root_seed=seed)
+              for policy in policies]
+    for policy, (tput, p50, p99) in zip(policies,
+                                        run_points(points, jobs=jobs)):
+        result.add(policy=policy, krps=krps(tput),
+                   p50_us=round(p50, 1),
+                   p99_us=round(p99, 1))
     result.note("least-loaded avoids queueing behind the 10x requests; "
                 "steering trades balance for per-client affinity")
     return result
@@ -132,25 +161,34 @@ def dispatch_policy_study(fast=True, seed=42):
 # Metadata coalescing
 # ---------------------------------------------------------------------------
 
-def coalescing_study(fast=True, seed=42):
-    """§5.1: appending the 4B metadata to the payload halves the RDMA
-    writes per delivery."""
+def _coalescing_point(coalesce, measure, seed=42):
     from ..config import DEFAULT_CONFIG
 
+    config = DEFAULT_CONFIG.with_(
+        lynx=replace(DEFAULT_CONFIG.lynx, coalesce_metadata=coalesce))
+    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=1,
+                 proto=UDP, seed=seed, config=config)
+    tput, latency = measure_closed_loop(
+        dep, lambda i: b"x" * 64, concurrency=1, warmup=10000.0,
+        measure=measure)
+    ops = dep.service.manager.qp.ops / max(1, dep.service.delivered)
+    return latency.p50(), ops
+
+
+def coalescing_study(fast=True, seed=42, jobs=None):
+    """§5.1: appending the 4B metadata to the payload halves the RDMA
+    writes per delivery."""
     result = ExperimentResult(
         "ABL-CO", "Metadata/data coalescing on vs off", "§5.1 ablation")
     measure = 40000.0 if fast else 120000.0
-    for coalesce in (True, False):
-        config = DEFAULT_CONFIG.with_(
-            lynx=replace(DEFAULT_CONFIG.lynx, coalesce_metadata=coalesce))
-        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=1,
-                     proto=UDP, seed=seed, config=config)
-        tput, latency = measure_closed_loop(
-            dep, lambda i: b"x" * 64, concurrency=1, warmup=10000.0,
-            measure=measure)
-        ops = dep.service.manager.qp.ops / max(1, dep.service.delivered)
+    points = [Point(("ABL-CO", coalesce), _coalescing_point,
+                    dict(coalesce=coalesce, measure=measure),
+                    root_seed=seed)
+              for coalesce in (True, False)]
+    for coalesce, (p50, ops) in zip((True, False),
+                                    run_points(points, jobs=jobs)):
         result.add(coalescing="on" if coalesce else "off",
-                   p50_us=round(latency.p50(), 1),
+                   p50_us=round(p50, 1),
                    rdma_ops_per_msg=round(ops, 2))
     on = result.find(coalescing="on")
     off = result.find(coalescing="off")
@@ -164,40 +202,51 @@ def coalescing_study(fast=True, seed=42):
 # Ring sizing
 # ---------------------------------------------------------------------------
 
-def ring_size_study(fast=True, seed=42):
-    """Ring depth trades drop rate against queueing delay under bursty
-    ~2x overload (Markov-modulated on/off arrivals)."""
+def _ring_point(entries, measure, seed=42):
     from ..config import DEFAULT_CONFIG
     from ..net.arrivals import OnOffBurst
     from ..sim import RngRegistry
 
+    kernel_us = 100.0
+    service_rate = 1.0 / (kernel_us + 10.0)
+    config = DEFAULT_CONFIG.with_(
+        lynx=replace(DEFAULT_CONFIG.lynx, ring_entries=entries))
+    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(kernel_us), n_mqueues=1,
+                 proto=UDP, seed=seed, config=config)
+    client = dep.tb.client("10.0.9.1")
+    # bursts at 8x the service rate, on 1/4 of the time => ~2x mean
+    arrivals = OnOffBurst(8.0 * service_rate, on_mean_us=2000.0,
+                          off_mean_us=6000.0,
+                          rng=RngRegistry(seed))
+    OpenLoopGenerator(dep.env, client, dep.address,
+                      payload_fn=lambda i: b"x" * 64, proto=UDP,
+                      arrivals=arrivals)
+    dep.tb.warmup_then_measure([client.responses, client.latency],
+                               20000.0, measure)
+    delivered = dep.service.delivered
+    dropped = dep.service.dropped
+    return (client.responses.per_sec(),
+            dropped / max(1, dropped + delivered),
+            client.latency.p50())
+
+
+def ring_size_study(fast=True, seed=42, jobs=None):
+    """Ring depth trades drop rate against queueing delay under bursty
+    ~2x overload (Markov-modulated on/off arrivals)."""
     result = ExperimentResult(
         "ABL-RS", "mqueue ring depth under bursty 2x overload",
         "§4.2 ablation")
     measure = 50000.0 if fast else 150000.0
-    kernel_us = 100.0
-    service_rate = 1.0 / (kernel_us + 10.0)
-    for entries in (4, 16, 64, 256):
-        config = DEFAULT_CONFIG.with_(
-            lynx=replace(DEFAULT_CONFIG.lynx, ring_entries=entries))
-        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(kernel_us), n_mqueues=1,
-                     proto=UDP, seed=seed, config=config)
-        client = dep.tb.client("10.0.9.1")
-        # bursts at 8x the service rate, on 1/4 of the time => ~2x mean
-        arrivals = OnOffBurst(8.0 * service_rate, on_mean_us=2000.0,
-                              off_mean_us=6000.0,
-                              rng=RngRegistry(seed))
-        OpenLoopGenerator(dep.env, client, dep.address,
-                          payload_fn=lambda i: b"x" * 64, proto=UDP,
-                          arrivals=arrivals)
-        dep.tb.warmup_then_measure([client.responses, client.latency],
-                                   20000.0, measure)
-        delivered = dep.service.delivered
-        dropped = dep.service.dropped
+    depths = (4, 16, 64, 256)
+    points = [Point(("ABL-RS", entries), _ring_point,
+                    dict(entries=entries, measure=measure), root_seed=seed)
+              for entries in depths]
+    for entries, (goodput, drop_rate, p50) in zip(
+            depths, run_points(points, jobs=jobs)):
         result.add(ring_entries=entries,
-                   goodput_krps=krps(client.responses.per_sec()),
-                   drop_rate=round(dropped / max(1, dropped + delivered), 3),
-                   p50_us=round(client.latency.p50(), 1))
+                   goodput_krps=krps(goodput),
+                   drop_rate=round(drop_rate, 3),
+                   p50_us=round(p50, 1))
     result.note("bigger rings shed the same overload but convert drops "
                 "into queueing delay — classic buffer sizing")
     return result
@@ -207,29 +256,39 @@ def ring_size_study(fast=True, seed=42):
 # Sweep interval
 # ---------------------------------------------------------------------------
 
-def sweep_interval_study(fast=True, seed=42):
+def _sweep_interval_point(interval, measure, seed=42):
+    from ..config import DEFAULT_CONFIG
+
+    config = DEFAULT_CONFIG.with_(
+        lynx=replace(DEFAULT_CONFIG.lynx, sweep_interval=interval))
+    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=8,
+                 proto=UDP, seed=seed, config=config)
+    tput, latency = measure_closed_loop(
+        dep, lambda i: b"x" * 64, concurrency=8, warmup=10000.0,
+        measure=measure)
+    return tput, latency.p50(), dep.service.manager.sweeps
+
+
+def sweep_interval_study(fast=True, seed=42, jobs=None):
     """The TX doorbell sweep cadence.
 
     Because sweeps are doorbell-armed, request latency is nearly
     insensitive to the interval; what the interval buys is *fewer,
     larger sweeps* — less SNIC core time burnt in scans and RDMA
     doorbell reads for the same delivered load."""
-    from ..config import DEFAULT_CONFIG
-
     result = ExperimentResult(
         "ABL-SW", "Remote MQ Manager sweep interval", "§5.1 ablation")
     measure = 40000.0 if fast else 120000.0
-    for interval in (0.5, 1.0, 4.0, 16.0):
-        config = DEFAULT_CONFIG.with_(
-            lynx=replace(DEFAULT_CONFIG.lynx, sweep_interval=interval))
-        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=8,
-                     proto=UDP, seed=seed, config=config)
-        tput, latency = measure_closed_loop(
-            dep, lambda i: b"x" * 64, concurrency=8, warmup=10000.0,
-            measure=measure)
+    intervals = (0.5, 1.0, 4.0, 16.0)
+    points = [Point(("ABL-SW", interval), _sweep_interval_point,
+                    dict(interval=interval, measure=measure),
+                    root_seed=seed)
+              for interval in intervals]
+    for interval, (tput, p50, sweeps) in zip(
+            intervals, run_points(points, jobs=jobs)):
         result.add(sweep_interval_us=interval, krps=krps(tput),
-                   p50_us=round(latency.p50(), 1),
-                   sweeps=dep.service.manager.sweeps)
+                   p50_us=round(p50, 1),
+                   sweeps=sweeps)
     return result
 
 
@@ -237,36 +296,45 @@ def sweep_interval_study(fast=True, seed=42):
 # Connection scaling
 # ---------------------------------------------------------------------------
 
-def connection_scaling_study(fast=True, seed=42):
+def _connection_point(n_conns, n_mqueues, measure, seed=42):
+    from ..net.packet import TCP
+
+    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(100.0),
+                 n_mqueues=n_mqueues, proto=TCP, seed=seed)
+    clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
+    for c in clients:
+        # each closed-loop worker owns one TCP connection
+        ClosedLoopGenerator(dep.env, c, dep.address,
+                            concurrency=n_conns // 2,
+                            payload_fn=lambda i: b"x" * 64,
+                            proto=TCP, timeout=200000)
+    dep.tb.warmup_then_measure([c.responses for c in clients],
+                               30000.0, measure)
+    tput = sum(c.responses.per_sec() for c in clients)
+    return tput, len(dep.service.mqueues)
+
+
+def connection_scaling_study(fast=True, seed=42, jobs=None):
     """§4.5: "Lynx allows multiplexing multiple connections over the
     same server mqueue" — unlike prior GPU-networking systems, which
     pinned a QP or socket per connection.  Scaling the TCP client
     population with a fixed mqueue pool must not collapse throughput or
     grow accelerator-side state."""
-    from ..net.packet import TCP
-
     result = ExperimentResult(
         "ABL-CS", "TCP connection scaling over a fixed mqueue pool",
         "§4.5 ablation")
     measure = 50000.0 if fast else 150000.0
     n_mqueues = 4
     counts = (4, 32, 128) if fast else (4, 16, 64, 128, 256)
-    for n_conns in counts:
-        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(100.0),
-                     n_mqueues=n_mqueues, proto=TCP, seed=seed)
-        clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
-        for c in clients:
-            # each closed-loop worker owns one TCP connection
-            ClosedLoopGenerator(dep.env, c, dep.address,
-                                concurrency=n_conns // 2,
-                                payload_fn=lambda i: b"x" * 64,
-                                proto=TCP, timeout=200000)
-        dep.tb.warmup_then_measure([c.responses for c in clients],
-                                   30000.0, measure)
-        tput = sum(c.responses.per_sec() for c in clients)
+    points = [Point(("ABL-CS", n_conns), _connection_point,
+                    dict(n_conns=n_conns, n_mqueues=n_mqueues,
+                         measure=measure),
+                    root_seed=seed)
+              for n_conns in counts]
+    for n_conns, (tput, rings) in zip(counts, run_points(points, jobs=jobs)):
         result.add(connections=n_conns, mqueues=n_mqueues,
                    krps=krps(tput),
-                   accel_rings=len(dep.service.mqueues))
+                   accel_rings=rings)
     result.note("accelerator-side state stays at %d rings regardless of "
                 "the connection count; throughput saturates at the SNIC "
                 "TCP limit without collapsing" % n_mqueues)
@@ -277,30 +345,38 @@ def connection_scaling_study(fast=True, seed=42):
 # Host-centric core scaling (the driver bottleneck)
 # ---------------------------------------------------------------------------
 
-def driver_contention_study(fast=True, seed=42):
-    """§6.1: "we run on one CPU core because more threads result in a
-    slowdown due to an NVIDIA driver bottleneck" — measured."""
+def _driver_contention_point(cores, measure, seed=42):
     from .common import HOST_CENTRIC
 
+    dep = deploy(HOST_CENTRIC, app=SpinApp(20.0), proto=UDP, seed=seed,
+                 hc_cores=cores)
+    clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
+    for c in clients:
+        ClosedLoopGenerator(dep.env, c, dep.address, concurrency=32,
+                            payload_fn=lambda i: b"x" * 64, proto=UDP,
+                            timeout=100000)
+    dep.tb.warmup_then_measure([c.responses for c in clients],
+                               15000.0, measure)
+    tput = sum(c.responses.per_sec() for c in clients)
+    driver = dep.host.driver
+    return tput, driver.contended_ops / max(1, driver.ops)
+
+
+def driver_contention_study(fast=True, seed=42, jobs=None):
+    """§6.1: "we run on one CPU core because more threads result in a
+    slowdown due to an NVIDIA driver bottleneck" — measured."""
     result = ExperimentResult(
         "ABL-DC", "Host-centric serving cores vs the driver lock",
         "§6.1 ablation")
     measure = 40000.0 if fast else 120000.0
-    for cores in (1, 2, 4, 6):
-        dep = deploy(HOST_CENTRIC, app=SpinApp(20.0), proto=UDP, seed=seed,
-                     hc_cores=cores)
-        clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
-        for c in clients:
-            ClosedLoopGenerator(dep.env, c, dep.address, concurrency=32,
-                                payload_fn=lambda i: b"x" * 64, proto=UDP,
-                                timeout=100000)
-        dep.tb.warmup_then_measure([c.responses for c in clients],
-                                   15000.0, measure)
-        tput = sum(c.responses.per_sec() for c in clients)
-        driver = dep.host.driver
+    core_counts = (1, 2, 4, 6)
+    points = [Point(("ABL-DC", cores), _driver_contention_point,
+                    dict(cores=cores, measure=measure), root_seed=seed)
+              for cores in core_counts]
+    for cores, (tput, share) in zip(core_counts,
+                                    run_points(points, jobs=jobs)):
         result.add(cores=cores, krps=krps(tput),
-                   contended_op_share=round(
-                       driver.contended_ops / max(1, driver.ops), 2))
+                   contended_op_share=round(share, 2))
     result.note("adding serving cores increases driver-lock contention "
                 "faster than it adds useful work")
     return result
@@ -310,22 +386,14 @@ def driver_contention_study(fast=True, seed=42):
 # Projected full Innova (§5.2)
 # ---------------------------------------------------------------------------
 
-def projected_innova_study(fast=True, seed=42):
-    """§5.2/§6.2: how fast would a *full* Innova Lynx be?  The paper
-    projects that removing the prototype's limitations (UC rings + CPU
-    helper, RX only) unlocks the FPGA's headroom; we build that
-    configuration and measure the complete echo loop."""
+def _innova_full_loop_point(measure, seed=42):
+    """The projected full-duplex Innova echo loop (§5.2)."""
     from ..config import INNOVA_PROJECTED, K40M
     from ..lynx.innova import InnovaLynxServer
     from ..lynx.iolib import AcceleratorIO
     from ..lynx.mqueue import MQueue
+    from ..net.packet import Address, Message
 
-    result = ExperimentResult(
-        "ABL-IN", "Projected full-duplex Innova vs Bluefield (64B echo)",
-        "§5.2 projection")
-    measure = 8000.0 if fast else 20000.0
-
-    # full Innova echo
     tb = Testbed(seed=seed)
     env = tb.env
     host = tb.machine("10.0.0.1")
@@ -345,7 +413,6 @@ def projected_innova_study(fast=True, seed=42):
             yield from io.send(mq, entry.payload, reply_to=entry)
 
     gpu.persistent_kernel(n_mq, body)
-    from ..net.packet import Address, Message
 
     src = Address("10.0.8.1", 5555)
 
@@ -357,18 +424,38 @@ def projected_innova_study(fast=True, seed=42):
 
     env.process(flood(env), name="flood")
     tb.warmup_then_measure([server.responses], 4000.0, measure)
-    innova_rate = server.responses.per_sec()
+    return server.responses.per_sec()
+
+
+def _innova_bluefield_point(measure, seed=42):
+    """Bluefield full echo at the same message size / mqueue count."""
+    from .common import measure_saturation
+
+    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(0.0), n_mqueues=240, proto=UDP,
+                 seed=seed)
+    return measure_saturation(dep, lambda i: b"x" * 64, 1.5e6,
+                              warmup=10000.0, measure=measure)
+
+
+def projected_innova_study(fast=True, seed=42, jobs=None):
+    """§5.2/§6.2: how fast would a *full* Innova Lynx be?  The paper
+    projects that removing the prototype's limitations (UC rings + CPU
+    helper, RX only) unlocks the FPGA's headroom; we build that
+    configuration and measure the complete echo loop."""
+    result = ExperimentResult(
+        "ABL-IN", "Projected full-duplex Innova vs Bluefield (64B echo)",
+        "§5.2 projection")
+    measure = 8000.0 if fast else 20000.0
+    points = [
+        Point(("ABL-IN", "innova"), _innova_full_loop_point,
+              dict(measure=measure), root_seed=seed),
+        Point(("ABL-IN", "bluefield"), _innova_bluefield_point,
+              dict(measure=measure * 4), root_seed=seed),
+    ]
+    innova_rate, bf_rate = run_points(points, jobs=jobs)
     result.add(platform="innova-projected (full loop)",
                mpps=round(innova_rate / 1e6, 2),
                vs_bluefield=None)
-
-    # Bluefield full echo at the same message size / mqueue count
-    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(0.0), n_mqueues=240, proto=UDP,
-                 seed=seed)
-    from ..experiments.common import measure_saturation
-
-    bf_rate = measure_saturation(dep, lambda i: b"x" * 64, 1.5e6,
-                                 warmup=10000.0, measure=measure * 4)
     result.add(platform="bluefield (full loop)",
                mpps=round(bf_rate / 1e6, 3),
                vs_bluefield=round(innova_rate / bf_rate, 1))

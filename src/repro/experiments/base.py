@@ -42,7 +42,13 @@ class ExperimentResult:
         """Human-readable table (printed by the benchmarks)."""
         if not self.rows:
             return "(no rows)"
-        columns = list(self.rows[0])
+        # Union of all rows' keys, in first-seen order: later rows may
+        # introduce columns the first row lacks (e.g. knee summaries).
+        columns = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
         widths = {c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
                   for c in columns}
         lines = []

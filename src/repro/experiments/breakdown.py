@@ -14,6 +14,7 @@ from ..apps.base import SpinApp
 from ..net.packet import UDP
 from .base import ExperimentResult
 from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy
+from .sweep import Point, run_points
 
 PAPER_SNIC_SPAN = {"bluefield": 14.0, "xeon": 11.0}
 
@@ -55,15 +56,26 @@ def collect(design, kernel_us=0.0, samples=300, seed=42):
     return spans
 
 
-def run(fast=True, seed=42):
+PLATFORMS = ((LYNX_BLUEFIELD, "bluefield"), (LYNX_XEON_6, "xeon"))
+
+
+def sweep_points(fast=True, seed=42, samples=None):
+    """One stamp-collection point per platform."""
+    if samples is None:
+        samples = 200 if fast else 1000
+    return [Point(("BRK", label), collect,
+                  dict(design=design, samples=samples), root_seed=seed)
+            for design, label in PLATFORMS]
+
+
+def run(fast=True, seed=42, samples=None, jobs=None):
     """Collect the per-stage latency breakdown on both platforms."""
     result = ExperimentResult(
         "BRK", "Latency breakdown: UDP-done -> response-ready (0us kernel)",
         "§6.2 text")
-    samples = 200 if fast else 1000
-    for design, label in ((LYNX_BLUEFIELD, "bluefield"),
-                          (LYNX_XEON_6, "xeon")):
-        spans = collect(design, samples=samples, seed=seed)
+    points = sweep_points(fast, seed, samples=samples)
+    all_spans = run_points(points, jobs=jobs)
+    for (design, label), spans in zip(PLATFORMS, all_spans):
         result.add(platform=label,
                    dispatch=round(spans["dispatch"], 2),
                    rdma_delivery=round(spans["rdma_delivery"], 2),

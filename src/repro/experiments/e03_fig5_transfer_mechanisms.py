@@ -20,6 +20,7 @@ echo kernel, whose byte-by-byte copy time caps large-payload gains.
 from ..config import K40M
 from ..sim import Channel
 from .base import ExperimentResult
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 PAYLOAD_SIZES = (20, 116, 516, 1016, 1416)
@@ -135,18 +136,30 @@ def throughput(data_mech, ctrl_mech, payload_bytes, seed=42,
     return (done[0] - start_count) / (env.now - start_time) * 1e6
 
 
-def run(fast=True, seed=42):
+def sweep_points(fast=True, seed=42, measure=None):
+    """One point per (payload size, mechanism pair) echo measurement."""
+    sizes = (20, 516, 1416) if fast else PAYLOAD_SIZES
+    if measure is None:
+        measure = 20000.0 if fast else 60000.0
+    return [Point(("E03", data_mech, ctrl_mech, size), throughput,
+                  dict(data_mech=data_mech, ctrl_mech=ctrl_mech,
+                       payload_bytes=size, measure=measure),
+                  root_seed=seed)
+            for size in sizes
+            for data_mech, ctrl_mech in COMBOS]
+
+
+def run(fast=True, seed=42, measure=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E03", "mqueue access mechanisms (speedup vs cudaMemcpyAsync)",
         "Fig 5")
     sizes = (20, 516, 1416) if fast else PAYLOAD_SIZES
-    measure = 20000.0 if fast else 60000.0
+    points = sweep_points(fast, seed, measure=measure)
+    values = dict(zip((p.key for p in points), run_points(points, jobs=jobs)))
     for size in sizes:
-        rates = {}
-        for data_mech, ctrl_mech in COMBOS:
-            rates[(data_mech, ctrl_mech)] = throughput(
-                data_mech, ctrl_mech, size, seed=seed, measure=measure)
+        rates = {(dm, cm): values[("E03", dm, cm, size)]
+                 for dm, cm in COMBOS}
         base = rates[("cuda", "cuda")]
         result.add(payload=size,
                    cuda_cuda=1.0,

@@ -22,6 +22,7 @@ from .common import (
     deploy,
     measure_saturation,
 )
+from .sweep import Point, run_points
 
 EXEC_TIMES = (20.0, 200.0, 800.0, 1600.0)
 MQUEUE_COUNTS = (1, 120, 240)
@@ -41,38 +42,74 @@ def _offered_rate(design, exec_us, n_mq):
     return 1.4 * min(demand * 1.2 + 20e3, _CAP_GUESS[design])
 
 
-def measure_design(design, exec_us, n_mq, seed=42, measure=40000.0):
+def measure_design(design, exec_us, n_mq, seed=42, measure=40000.0,
+                   warmup=15000.0):
     dep = deploy(design, app=SpinApp(exec_us),
                  n_mqueues=(1 if design == HOST_CENTRIC else n_mq),
                  proto=UDP, seed=seed)
     offered = _offered_rate(design, exec_us, n_mq)
-    return measure_saturation(dep, lambda i: b"x" * MESSAGE_BYTES, offered,
-                              warmup=15000.0, measure=measure)
+    return measure_saturation(dep, _payload, offered,
+                              warmup=warmup, measure=measure)
 
 
-def run(fast=True, seed=42):
+def _payload(i):
+    return b"x" * MESSAGE_BYTES
+
+
+def _axes(fast):
+    exec_times = (20.0, 200.0) if fast else EXEC_TIMES
+    mq_counts = (1, 240) if fast else MQUEUE_COUNTS
+    return exec_times, mq_counts
+
+
+def sweep_points(fast=True, seed=42, measure=None, warmup=15000.0):
+    """Declare the Fig 6 grid as independent sweep points.
+
+    One point per (design, exec time, mqueue count) measurement; the
+    host-centric baseline does not depend on the mqueue count, so it is
+    measured once per column.
+    """
+    exec_times, mq_counts = _axes(fast)
+    if measure is None:
+        measure = 30000.0 if fast else 50000.0
+    points = []
+    for exec_us in exec_times:
+        points.append(Point(
+            ("E04", HOST_CENTRIC, exec_us, 1), measure_design,
+            dict(design=HOST_CENTRIC, exec_us=exec_us, n_mq=1,
+                 measure=measure, warmup=warmup),
+            root_seed=seed))
+        for n_mq in mq_counts:
+            for design in (LYNX_XEON_1, LYNX_XEON_6, LYNX_BLUEFIELD):
+                points.append(Point(
+                    ("E04", design, exec_us, n_mq), measure_design,
+                    dict(design=design, exec_us=exec_us, n_mq=n_mq,
+                         measure=measure, warmup=warmup),
+                    root_seed=seed))
+    return points
+
+
+def run(fast=True, seed=42, measure=None, warmup=15000.0, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E04", "GPU server throughput grid, relative to host-centric",
         "Fig 6")
-    exec_times = (20.0, 200.0) if fast else EXEC_TIMES
-    mq_counts = (1, 240) if fast else MQUEUE_COUNTS
-    measure = 30000.0 if fast else 50000.0
+    points = sweep_points(fast, seed, measure=measure, warmup=warmup)
+    rates = dict(zip((p.key for p in points), run_points(points, jobs=jobs)))
+    exec_times, mq_counts = _axes(fast)
     for exec_us in exec_times:
-        # host-centric does not depend on the mqueue count
-        base = measure_design(HOST_CENTRIC, exec_us, 1, seed, measure)
+        base = rates[("E04", HOST_CENTRIC, exec_us, 1)]
         for n_mq in mq_counts:
-            rates = {HOST_CENTRIC: base}
-            for design in (LYNX_XEON_1, LYNX_XEON_6, LYNX_BLUEFIELD):
-                rates[design] = measure_design(design, exec_us, n_mq, seed,
-                                               measure)
             result.add(
                 exec_us=exec_us, mqueues=n_mq,
                 host_centric_krps=krps(base),
                 host_centric=1.0,
-                lynx_xeon1=round(rates[LYNX_XEON_1] / base, 2),
-                lynx_xeon6=round(rates[LYNX_XEON_6] / base, 2),
-                lynx_bluefield=round(rates[LYNX_BLUEFIELD] / base, 2),
+                lynx_xeon1=round(
+                    rates[("E04", LYNX_XEON_1, exec_us, n_mq)] / base, 2),
+                lynx_xeon6=round(
+                    rates[("E04", LYNX_XEON_6, exec_us, n_mq)] / base, 2),
+                lynx_bluefield=round(
+                    rates[("E04", LYNX_BLUEFIELD, exec_us, n_mq)] / base, 2),
             )
     result.note("paper: BF ~2x host-centric @20us/1mq, ~15.3x with many "
                 "mqueues; 1 Xeon core saturates below 240 mqueues' demand")

@@ -17,6 +17,7 @@ from ..apps.base import SpinApp
 from ..net.packet import UDP
 from .base import ExperimentResult
 from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, measure_closed_loop
+from .sweep import Point, run_points
 
 RUNTIMES = (5.0, 20.0, 50.0, 200.0, 400.0, 800.0, 1600.0)
 MQUEUE_COUNTS = (1, 120, 240)
@@ -35,18 +36,37 @@ def _latency(design, runtime_us, n_mq, seed, measure):
     return latency.p50()
 
 
-def run(fast=True, seed=42):
+def sweep_points(fast=True, seed=42, measure=None):
+    """One point per (platform, runtime, mqueue count) ping-pong."""
+    runtimes = (5.0, 200.0, 1600.0) if fast else RUNTIMES
+    mq_counts = (1, 240) if fast else MQUEUE_COUNTS
+    if measure is None:
+        measure = 30000.0 if fast else 80000.0
+    points = []
+    for runtime_us in runtimes:
+        for n_mq in mq_counts:
+            for design in (LYNX_BLUEFIELD, LYNX_XEON_6):
+                points.append(Point(
+                    ("E05", design, runtime_us, n_mq), _latency,
+                    dict(design=design, runtime_us=runtime_us, n_mq=n_mq,
+                         measure=measure),
+                    root_seed=seed))
+    return points
+
+
+def run(fast=True, seed=42, measure=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E05", "Lynx latency: Bluefield vs 6 Xeon cores (p50 slowdown)",
         "Fig 7")
+    points = sweep_points(fast, seed, measure=measure)
+    p50s = dict(zip((p.key for p in points), run_points(points, jobs=jobs)))
     runtimes = (5.0, 200.0, 1600.0) if fast else RUNTIMES
     mq_counts = (1, 240) if fast else MQUEUE_COUNTS
-    measure = 30000.0 if fast else 80000.0
     for runtime_us in runtimes:
         for n_mq in mq_counts:
-            bf = _latency(LYNX_BLUEFIELD, runtime_us, n_mq, seed, measure)
-            xeon = _latency(LYNX_XEON_6, runtime_us, n_mq, seed, measure)
+            bf = p50s[("E05", LYNX_BLUEFIELD, runtime_us, n_mq)]
+            xeon = p50s[("E05", LYNX_XEON_6, runtime_us, n_mq)]
             result.add(runtime_us=runtime_us, mqueues=n_mq,
                        bluefield_p50=round(bf, 1), xeon6_p50=round(xeon, 1),
                        slowdown=round(bf / xeon, 3))

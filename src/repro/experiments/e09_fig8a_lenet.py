@@ -18,6 +18,7 @@ from .common import (
     deploy,
     measure_closed_loop,
 )
+from .sweep import Point, run_points
 
 PAPER = {
     (HOST_CENTRIC, "udp"): 2.8,
@@ -69,26 +70,58 @@ def measure_latency_at_load(design, proto, offered_per_sec, seed=42,
     return client.latency
 
 
-def run(fast=True, seed=42):
-    """Run this experiment; see the module docstring for the paper context."""
-    result = ExperimentResult(
-        "E09", "LeNet inference service: throughput and latency",
-        "Fig 8a + §6.3")
-    measure_us = 150000.0 if fast else 600000.0
+def _tput_point(design, proto, measure_us, seed=42):
+    """Sweep builder: saturation throughput only (picklable result)."""
+    tput, _ = measure(design, proto, seed, measure_us)
+    return tput
+
+
+def _latency_point(design, proto, offered_per_sec, measure_us, seed=42):
+    """Sweep builder: (p50, p90) under paced open-loop load."""
+    latency = measure_latency_at_load(design, proto, offered_per_sec, seed,
+                                      measure_us)
+    return latency.p50(), latency.p90()
+
+
+def _configs(fast):
     configs = [(HOST_CENTRIC, UDP), (LYNX_XEON_1, UDP),
                (LYNX_BLUEFIELD, UDP)]
     if not fast:
         configs += [(LYNX_XEON_1, TCP), (LYNX_BLUEFIELD, TCP)]
-    for design, proto in configs:
-        tput, _ = measure(design, proto, seed, measure_us)
-        # Fig 8a: "latency distribution at maximum throughput" with a
-        # paced load generator — drive at ~95% of the measured peak.
-        latency = measure_latency_at_load(design, proto, 0.95 * tput, seed,
-                                          measure_us)
+    return configs
+
+
+def run(fast=True, seed=42, measure_us=None, jobs=None):
+    """Run this experiment; see the module docstring for the paper context."""
+    result = ExperimentResult(
+        "E09", "LeNet inference service: throughput and latency",
+        "Fig 8a + §6.3")
+    if measure_us is None:
+        measure_us = 150000.0 if fast else 600000.0
+    configs = _configs(fast)
+    # Two sweep stages: the paced-load latency points depend on the
+    # measured saturation throughput of the same (design, proto).
+    tput_points = [Point(("E09", "tput", design, proto), _tput_point,
+                         dict(design=design, proto=proto,
+                              measure_us=measure_us),
+                         root_seed=seed)
+                   for design, proto in configs]
+    tputs = run_points(tput_points, jobs=jobs)
+    # Fig 8a: "latency distribution at maximum throughput" with a
+    # paced load generator — drive at ~95% of the measured peak.
+    latency_points = [Point(("E09", "latency", design, proto),
+                            _latency_point,
+                            dict(design=design, proto=proto,
+                                 offered_per_sec=0.95 * tput,
+                                 measure_us=measure_us),
+                            root_seed=seed)
+                      for (design, proto), tput in zip(configs, tputs)]
+    latencies = run_points(latency_points, jobs=jobs)
+    for (design, proto), tput, (p50, p90) in zip(configs, tputs, latencies):
         result.add(design=design, proto=proto,
                    krps=krps(tput), paper_krps=PAPER[(design, proto)],
-                   p50_us=round(latency.p50(), 1),
-                   p90_us=round(latency.p90(), 1),
+                   p50_us=round(p50, 1),
+                   p90_us=round(p90, 1),
                    paper_p90_us=PAPER_P90[(design, proto)])
     result.note("paper: Lynx 3.5K (UDP) = +25%% over host-centric 2.8K; "
                 "single-GPU max 3.6K; p90 ~295-300us vs 14%% slower baseline")

@@ -12,6 +12,7 @@ from ..config import K80
 from ..net import Address, ClosedLoopGenerator
 from ..net.packet import UDP
 from .base import ExperimentResult, krps
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 PAPER_K80_KRPS = 3.3
@@ -77,23 +78,36 @@ def remote_latency_delta(seed=42, measure_us=80000.0):
     return lat["remote"] - lat["local"]
 
 
-def run(fast=True, seed=42):
+def sweep_points(fast=True, seed=42, measure_us=None):
+    """One throughput point per GPU placement, plus the latency delta."""
+    if measure_us is None:
+        measure_us = 120000.0 if fast else 400000.0
+    points = [Point(("E10", label), measure_config,
+                    dict(counts=counts, measure_us=measure_us),
+                    root_seed=seed)
+              for label, counts in CONFIGS]
+    points.append(Point(("E10", "remote-delta"), remote_latency_delta,
+                        dict(measure_us=measure_us // 2), root_seed=seed))
+    return points
+
+
+def run(fast=True, seed=42, measure_us=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E10", "LeNet scale-out over local + remote K80 GPUs",
         "Fig 8b")
-    measure_us = 120000.0 if fast else 400000.0
+    points = sweep_points(fast, seed, measure_us=measure_us)
+    values = run_points(points, jobs=jobs)
+    tputs, delta = values[:len(CONFIGS)], values[-1]
     per_gpu = None
-    for label, counts in CONFIGS:
+    for (label, counts), tput in zip(CONFIGS, tputs):
         total = sum(counts)
-        tput = measure_config(counts, seed, measure_us)
         if per_gpu is None:
             per_gpu = tput / total
         result.add(config=label, gpus=total, krps=krps(tput),
                    linear_ideal_krps=krps(per_gpu * total),
                    scaling_efficiency=round(tput / (per_gpu * total), 3),
                    paper_krps=round(PAPER_K80_KRPS * total, 1))
-    delta = remote_latency_delta(seed, measure_us // 2)
     result.note("remote GPU adds %.1fus latency (paper: ~%.0fus)"
                 % (delta, PAPER_REMOTE_EXTRA_US))
     result.note("paper: linear scaling; each K80 peaks at ~3.3 Kreq/s")

@@ -16,6 +16,7 @@ from ..config import DEFAULT_APP_TIMINGS, K40M
 from ..net import Address, ClosedLoopGenerator
 from ..net.packet import TCP, UDP
 from .base import ExperimentResult, krps
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 PAPER_KNEES = {
@@ -70,31 +71,49 @@ def knee_from_series(points, rates, per_gpu_rate):
     return plateau / per_gpu_rate
 
 
-def run(fast=True, seed=42):
+def _grid(fast):
+    udp_points = UDP_POINTS_FAST if fast else UDP_POINTS
+    tcp_points = TCP_POINTS_FAST if fast else TCP_POINTS
+    return [(platform, proto, gpu_counts)
+            for platform in ("xeon", "bluefield")
+            for proto, gpu_counts in (("udp", udp_points),
+                                      ("tcp", tcp_points))]
+
+
+def sweep_points(fast=True, seed=42, measure_us=None):
+    """One point per (platform, proto, emulated GPU count)."""
+    if measure_us is None:
+        measure_us = 50000.0 if fast else 150000.0
+    return [Point(("E11", platform, proto, n_gpus), measure_point,
+                  dict(platform=platform, proto=proto, n_gpus=n_gpus,
+                       measure_us=measure_us),
+                  root_seed=seed)
+            for platform, proto, gpu_counts in _grid(fast)
+            for n_gpus in gpu_counts]
+
+
+def run(fast=True, seed=42, measure_us=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E11", "Multi-GPU scalability projection (emulated LeNet GPUs)",
         "Fig 8c")
-    measure_us = 50000.0 if fast else 150000.0
-    udp_points = UDP_POINTS_FAST if fast else UDP_POINTS
-    tcp_points = TCP_POINTS_FAST if fast else TCP_POINTS
-    for platform in ("xeon", "bluefield"):
-        for proto, points in (("udp", udp_points), ("tcp", tcp_points)):
-            rates = []
-            for n_gpus in points:
-                rate = measure_point(platform, proto, n_gpus, seed,
-                                     measure_us)
-                rates.append(rate)
-                result.add(platform=platform, proto=proto, gpus=n_gpus,
-                           krps=krps(rate),
-                           linear_krps=round(PER_GPU_KRPS * n_gpus, 1),
-                           knee_estimate=None,
-                           paper_knee=None)
-            knee = knee_from_series(points, rates, PER_GPU_KRPS * 1000)
-            result.add(platform=platform, proto=proto, gpus="knee",
-                       krps=None, linear_krps=None,
-                       knee_estimate=round(knee, 1),
-                       paper_knee=PAPER_KNEES[(platform, proto)])
+    points = sweep_points(fast, seed, measure_us=measure_us)
+    values = dict(zip((p.key for p in points), run_points(points, jobs=jobs)))
+    for platform, proto, gpu_counts in _grid(fast):
+        rates = []
+        for n_gpus in gpu_counts:
+            rate = values[("E11", platform, proto, n_gpus)]
+            rates.append(rate)
+            result.add(platform=platform, proto=proto, gpus=n_gpus,
+                       krps=krps(rate),
+                       linear_krps=round(PER_GPU_KRPS * n_gpus, 1),
+                       knee_estimate=None,
+                       paper_knee=None)
+        knee = knee_from_series(gpu_counts, rates, PER_GPU_KRPS * 1000)
+        result.add(platform=platform, proto=proto, gpus="knee",
+                   krps=None, linear_krps=None,
+                   knee_estimate=round(knee, 1),
+                   paper_knee=PAPER_KNEES[(platform, proto)])
     result.note("paper knees: UDP 102 (BF) / 74 (Xeon core); "
                 "TCP 15 (BF) / 7 (Xeon core)")
     return result

@@ -21,6 +21,7 @@ from ..config import XEON_VMA
 from ..net import Address, ClosedLoopGenerator
 from ..net.packet import UDP
 from .base import ExperimentResult, krps
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 PAPER_XEON_KTPS_PER_CORE = 250.0
@@ -121,23 +122,40 @@ def _config_b(seed, measure, latency_optimized):
             lenet_client.responses.per_sec())
 
 
-def run(fast=True, seed=42):
+def sweep_points(fast=True, seed=42, measure=None):
+    """Three points: placement A, placement B x {tput, latency} tuned."""
+    if measure is None:
+        measure = 60000.0 if fast else 250000.0
+    return [
+        Point(("E12", "A"), _config_a, dict(measure=measure),
+              root_seed=seed),
+        Point(("E12", "B", "throughput"), _config_b,
+              dict(measure=measure, latency_optimized=False),
+              root_seed=seed),
+        Point(("E12", "B", "latency"), _config_b,
+              dict(measure=measure, latency_optimized=True),
+              root_seed=seed),
+    ]
+
+
+def run(fast=True, seed=42, measure=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E12", "memcached placement vs Lynx offload (system efficiency)",
         "Fig 9")
-    measure = 60000.0 if fast else 250000.0
-    a_tput, a_p99, a_lenet = _config_a(seed, measure)
+    points = sweep_points(fast, seed, measure=measure)
+    values = run_points(points, jobs=jobs)
+    a_tput, a_p99, a_lenet = values[0]
     result.add(config="A: memcached on 6 cores, LeNet on BF",
                memcached_ktps=round(a_tput / 1000, 0),
                memcached_p99_us=round(a_p99, 1),
                bf_memcached_ktps=None, bf_p99_us=None,
                lenet_krps=krps(a_lenet),
                paper_ktps=6 * PAPER_XEON_KTPS_PER_CORE)
-    for latency_optimized, label in ((False, "throughput-optimized"),
-                                     (True, "latency-optimized")):
-        (h_tput, h_p99, bf_tput, bf_p99, usable_bf,
-         lenet) = _config_b(seed, measure, latency_optimized)
+    b_variants = (("throughput-optimized", False), ("latency-optimized", True))
+    for (label, latency_optimized), (h_tput, h_p99, bf_tput, bf_p99,
+                                     usable_bf, lenet) in zip(
+            b_variants, values[1:]):
         result.add(config="B: 5 cores + BF (%s)" % label,
                    memcached_ktps=round((h_tput + usable_bf) / 1000, 0),
                    memcached_p99_us=round(h_p99, 1),

@@ -25,6 +25,7 @@ from ..config import K40M, XEON_VMA
 from ..net import Address, ClosedLoopGenerator
 from ..net.packet import TCP, UDP
 from .base import ExperimentResult, krps
+from .sweep import Point, run_points
 from .testbed import Testbed
 
 PAPER_SPEEDUP_BLUEFIELD = 4.4
@@ -95,17 +96,31 @@ def measure_host_centric(cores=2, seed=42, measure=80000.0,
                   concurrency=2 * N_MQUEUES)
 
 
-def run(fast=True, seed=42):
+def sweep_points(fast=True, seed=42, measure=None):
+    """Four points: host-centric x {1,2} cores, Lynx on Xeon/Bluefield."""
+    if measure is None:
+        measure = 80000.0 if fast else 300000.0
+    return [
+        Point(("E13", "host-centric", 1), measure_host_centric,
+              dict(cores=1, measure=measure), root_seed=seed),
+        Point(("E13", "host-centric", 2), measure_host_centric,
+              dict(cores=2, measure=measure), root_seed=seed),
+        Point(("E13", "lynx", "xeon"), measure_lynx,
+              dict(platform="xeon", cores=2, measure=measure),
+              root_seed=seed),
+        Point(("E13", "lynx", "bluefield"), measure_lynx,
+              dict(platform="bluefield", measure=measure), root_seed=seed),
+    ]
+
+
+def run(fast=True, seed=42, measure=None, jobs=None):
     """Run this experiment; see the module docstring for the paper context."""
     result = ExperimentResult(
         "E13", "Face Verification (GPU + memcached tier) throughput",
         "§6.4")
-    measure = 80000.0 if fast else 300000.0
-    hc1 = measure_host_centric(cores=1, seed=seed, measure=measure)
-    hc2 = measure_host_centric(cores=2, seed=seed, measure=measure)
+    points = sweep_points(fast, seed, measure=measure)
+    hc1, hc2, xeon, bluefield = run_points(points, jobs=jobs)
     base = max(hc1, hc2)
-    xeon = measure_lynx("xeon", cores=2, seed=seed, measure=measure)
-    bluefield = measure_lynx("bluefield", seed=seed, measure=measure)
     result.add(design="host-centric 1 core", krps=krps(hc1),
                speedup=round(hc1 / base, 2), paper_speedup=None)
     result.add(design="host-centric 2 cores (best)", krps=krps(hc2),

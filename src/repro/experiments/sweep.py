@@ -1,0 +1,185 @@
+"""Parallel sweep executor: fan independent simulation points across
+worker processes with bit-identical results (DESIGN.md §4.8).
+
+Every Lynx figure is a grid of *independent* simulations — each point
+owns its own :class:`~repro.experiments.testbed.Testbed`, RNG registry,
+and event kernel.  Experiments declare their grids as lists of
+self-describing :class:`Point` specs and hand them to
+:func:`run_points`, which runs them either serially (the default) or
+fanned across a ``multiprocessing`` pool, reassembling results in
+declaration order.  Because each point is a closed simulation seeded
+only by its own derived seed, serial and parallel executions produce
+**bit-identical** values for a fixed root seed.
+
+The worker count comes from, in priority order: the ``jobs=`` argument,
+:func:`configure` (installed by the CLI's ``--jobs`` or the benchmark
+suite's ``--jobs`` pytest option), and the ``REPRO_JOBS`` environment
+variable.  The default is 1, so existing callers are untouched.
+
+Worker-side state handling:
+
+* each worker resets the tracer registry and the kernel-totals block
+  before running a point, so nothing inherited from the parent (under
+  the ``fork`` start method) leaks into measurements;
+* the parent's active config override (``--batch-size`` and friends,
+  see :func:`~repro.experiments.testbed.set_active_config`) is shipped
+  to workers through the pool initializer, so points behave the same in
+  or out of process;
+* each point result travels back with the worker's
+  :func:`~repro.sim.kernel_totals` delta, which the parent folds into
+  its own block via :func:`~repro.sim.merge_kernel_totals` so
+  ``--kernel-stats`` stays correct under ``--jobs N``.
+
+Tracing (``--trace-channel``) records live in worker memory and are not
+shipped back; the CLI forces serial execution when tracing is enabled.
+"""
+
+import hashlib
+import os
+
+from ..errors import ConfigError
+from ..sim.environment import (
+    kernel_totals,
+    merge_kernel_totals,
+    reset_kernel_totals,
+)
+from ..sim import trace as trace_mod
+from . import testbed as testbed_mod
+
+#: seeds stay below 2**31 so every consumer (numpy generators, the
+#: RngRegistry's stream derivation, struct-packed seeds) accepts them
+SEED_SPACE = 2 ** 31
+
+#: worker count installed by :func:`configure`; ``None`` defers to the
+#: ``REPRO_JOBS`` environment variable, then the serial default.
+_active_jobs = None
+
+
+def configure(jobs):
+    """Install the process-wide worker count (``None`` resets)."""
+    global _active_jobs
+    if jobs is not None and jobs < 1:
+        raise ConfigError("jobs must be >= 1, got %r" % (jobs,))
+    _active_jobs = jobs
+
+
+def active_jobs():
+    """The effective worker count for sweeps run without ``jobs=``."""
+    if _active_jobs is not None:
+        return _active_jobs
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return 1
+
+
+def derive_seed(root_seed, key):
+    """Deterministic per-point seed from the root seed and point key.
+
+    Hash-based (not ``hash()``, which is salted per process) so the
+    same (root seed, key) pair maps to the same seed in every process,
+    python version, and platform — the property the bit-identical
+    serial-vs-parallel guarantee rests on.  Keys are canonicalized via
+    ``repr``, so use tuples of strings/numbers.
+    """
+    text = "%r|%r" % (root_seed, key)
+    digest = hashlib.blake2s(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % SEED_SPACE
+
+
+class Point:
+    """One independent simulation in an experiment grid.
+
+    A picklable spec: *builder* is a module-level callable, *kwargs*
+    its keyword arguments, and ``seed`` the per-point seed derived from
+    the experiment's root seed and the point *key* (unless given
+    explicitly).  The executor invokes ``builder(seed=point.seed,
+    **kwargs)`` — builders must accept a ``seed`` keyword.
+    """
+
+    __slots__ = ("key", "builder", "kwargs", "seed")
+
+    def __init__(self, key, builder, kwargs=None, root_seed=42, seed=None):
+        self.key = key
+        self.builder = builder
+        self.kwargs = dict(kwargs or {})
+        if "seed" in self.kwargs:
+            raise ConfigError("pass the root seed via root_seed=, not "
+                              "kwargs['seed'] — the executor injects the "
+                              "derived per-point seed")
+        self.seed = derive_seed(root_seed, key) if seed is None else seed
+
+    def __call__(self):
+        return self.builder(seed=self.seed, **self.kwargs)
+
+    def __repr__(self):
+        return "Point(%r, %s, seed=%d)" % (
+            self.key, getattr(self.builder, "__name__", self.builder),
+            self.seed)
+
+
+def run_points(points, jobs=None):
+    """Run every point; returns their values in declaration order.
+
+    ``jobs=None`` uses :func:`active_jobs`.  With one job (or one
+    point) the points run inline in this process; otherwise they fan
+    out over a worker pool and the results are reassembled in order,
+    so callers cannot observe the difference beyond wall-clock.
+    """
+    points = list(points)
+    if jobs is None:
+        jobs = active_jobs()
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1, got %r" % (jobs,))
+    if jobs == 1 or len(points) <= 1:
+        return [point() for point in points]
+    return _run_pool(points, min(jobs, len(points)))
+
+
+def _run_pool(points, jobs):
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context("spawn")
+    config = testbed_mod.active_config()
+    pool = ctx.Pool(processes=jobs, initializer=_worker_init,
+                    initargs=(config,))
+    try:
+        # map() preserves input order, which is what makes parallel
+        # output indistinguishable from serial output.
+        outs = pool.map(_run_point_task, points)
+    finally:
+        pool.close()
+        pool.join()
+    values = []
+    for value, totals in outs:
+        merge_kernel_totals(totals)
+        values.append(value)
+    return values
+
+
+def _worker_init(config):
+    """Pool initializer: scrub inherited state, apply the parent's
+    active-config override (a no-op under ``spawn``, where *config*
+    arriving pickled is the only way workers learn about it)."""
+    _reset_worker_state()
+    testbed_mod.set_active_config(config)
+
+
+def _reset_worker_state():
+    """Per-worker scrub: tracer registry and kernel counters."""
+    trace_mod.clear_enabled_tracers()
+    reset_kernel_totals()
+
+
+def _run_point_task(point):
+    """Worker-side task: run one point, ship (value, totals delta)."""
+    trace_mod.clear_enabled_tracers()
+    reset_kernel_totals()
+    value = point()
+    return value, kernel_totals()

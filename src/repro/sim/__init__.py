@@ -11,7 +11,12 @@ Public surface::
 
 """
 
-from .environment import Environment, kernel_totals, reset_kernel_totals
+from .environment import (
+    Environment,
+    kernel_totals,
+    merge_kernel_totals,
+    reset_kernel_totals,
+)
 from .events import (
     Event,
     Timeout,
@@ -35,6 +40,7 @@ from .trace import Tracer, NullTracer
 __all__ = [
     "Environment",
     "kernel_totals",
+    "merge_kernel_totals",
     "reset_kernel_totals",
     "Event",
     "Timeout",

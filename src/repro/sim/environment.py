@@ -65,6 +65,22 @@ def reset_kernel_totals():
         _TOTALS[key] = 0
 
 
+def merge_kernel_totals(snapshot):
+    """Fold another process's :func:`kernel_totals` snapshot into ours.
+
+    The parallel sweep executor runs simulations in worker processes,
+    whose counters live in *their* module-level ``_TOTALS`` block; each
+    worker ships its snapshot back with the point result and the parent
+    merges here so ``--kernel-stats`` covers the whole sweep.  Counters
+    add; ``heap_peak`` takes the max; ``wall_seconds`` therefore sums
+    *worker CPU seconds*, not elapsed time, under ``--jobs N``.
+    """
+    for key in _TOTAL_KEYS:
+        _TOTALS[key] += snapshot.get(key, 0)
+    if snapshot.get("heap_peak", 0) > _TOTALS["heap_peak"]:
+        _TOTALS["heap_peak"] = snapshot["heap_peak"]
+
+
 class EmptySchedule(Exception):
     """Internal: the event queue ran dry."""
 

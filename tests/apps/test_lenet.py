@@ -8,8 +8,10 @@ from repro.apps.lenet import (
     LeNetApp,
     MnistStream,
     conv2d_valid,
+    conv2d_valid_batch,
     image_bytes,
     maxpool2,
+    maxpool2_batch,
     render_digit,
     template_set,
 )
@@ -51,6 +53,29 @@ class TestLayers:
         out = maxpool2(x)
         assert np.array_equal(out[0], [[4, 5], [7, 9]])
 
+    def test_batched_conv_matches_per_image(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((5, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        batched = conv2d_valid_batch(x, w, b)
+        assert batched.shape == (5, 4, 6, 6)
+        for i in range(5):
+            assert np.allclose(batched[i], conv2d_valid(x[i], w, b))
+
+    def test_batched_conv_channel_mismatch(self):
+        with pytest.raises(ConfigError):
+            conv2d_valid_batch(np.zeros((2, 2, 5, 5)),
+                               np.zeros((1, 3, 3, 3)), np.zeros(1))
+
+    def test_batched_maxpool_matches_per_image(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((4, 2, 6, 6))
+        batched = maxpool2_batch(x)
+        assert batched.shape == (4, 2, 3, 3)
+        for i in range(4):
+            assert np.allclose(batched[i], maxpool2(x[i]))
+
 
 class TestModel:
     def test_forward_shape(self):
@@ -64,6 +89,35 @@ class TestModel:
     def test_wrong_size_rejected(self):
         with pytest.raises(ConfigError):
             LeNet5().forward(np.zeros(100))
+
+    def test_forward_batch_matches_forward(self):
+        model = LeNet5()
+        rng = np.random.default_rng(3)
+        images = rng.integers(0, 256, size=(6, 28, 28)).astype(np.uint8)
+        batched = model.forward_batch(images)
+        assert batched.shape == (6, 10)
+        singles = np.stack([model.forward(img) for img in images])
+        assert np.allclose(batched, singles)
+        assert np.array_equal(model.classify_batch(images),
+                              np.argmax(singles, axis=1))
+
+    def test_forward_batch_accepts_bytes(self):
+        model = LeNet5()
+        imgs = [image_bytes(d) for d in (1, 2, 3)]
+        batched = model.forward_batch(imgs)
+        singles = np.stack([model.forward(img) for img in imgs])
+        assert np.allclose(batched, singles)
+
+    def test_forward_batch_wrong_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            LeNet5().forward_batch(np.zeros((2, 14, 14), dtype=np.uint8))
+
+    def test_weight_cache_keeps_instances_independent(self):
+        a, b = LeNet5(seed=11), LeNet5(seed=11)
+        assert np.array_equal(a.fc3_w, b.fc3_w)
+        b.fc3_w[0] = 123.0
+        assert not np.array_equal(a.fc3_w, b.fc3_w)
+        assert np.array_equal(LeNet5(seed=11).fc3_w, a.fc3_w)
 
     def test_calibrated_model_classifies_clean_digits(self):
         model = LeNet5().calibrate_to_templates(template_set())

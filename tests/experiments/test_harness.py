@@ -46,6 +46,17 @@ class TestExperimentResult:
     def test_empty_table(self):
         assert ExperimentResult("E", "t", "f").table() == "(no rows)"
 
+    def test_table_unions_columns_across_rows(self):
+        # Later rows may add columns the first row lacks (knee summary
+        # rows, for instance); the header must cover all of them.
+        result = ExperimentResult("EXX", "title", "Fig X")
+        result.add(a=1)
+        result.add(a=2, extra="late")
+        table = result.table()
+        header = table.splitlines()[0]
+        assert "extra" in header
+        assert "late" in table
+
     def test_krps(self):
         assert krps(3500) == 3.5
 

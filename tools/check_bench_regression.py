@@ -1,18 +1,19 @@
 #!/usr/bin/env python
-"""Fail if the kernel-throughput benchmarks regressed vs a baseline.
+"""Fail if the timed benchmarks regressed vs their committed baselines.
 
 Usage::
 
     python tools/check_bench_regression.py BASELINE.json CURRENT.json \
-        [--threshold 0.15]
+        [--pair BASELINE2.json CURRENT2.json ...] [--threshold 0.15]
 
-Both files are ``benchmarks/results/kernel_throughput.json`` artifacts
-(the committed one for the baseline, the freshly measured one for the
-current run).  Raw wall-clock is machine-dependent, so each experiment
+Each pair is a (committed baseline, freshly measured) copy of one
+benchmark results file — ``benchmarks/results/kernel_throughput.json``,
+``benchmarks/results/parallel_sweep.json``, and friends share the same
+shape.  Raw wall-clock is machine-dependent, so each experiment
 section's ``measured_seconds`` is first divided by that file's own
 ``machine_speed_factor`` (the calibration-loop ratio the benchmark
 records); the check fails when any normalized time grew more than
-``--threshold`` (default 15%) over the baseline.
+``--threshold`` (default 15%) over the baseline, across any pair.
 
 Sections present on only one side are skipped with a note — a freshly
 added benchmark has no baseline to regress against.
@@ -57,18 +58,25 @@ def compare(baseline, current, threshold):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed kernel_throughput.json")
-    parser.add_argument("current", help="freshly measured kernel_throughput.json")
+    parser.add_argument("baseline", help="committed benchmark results json")
+    parser.add_argument("current", help="freshly measured results json")
+    parser.add_argument("--pair", nargs=2, action="append", default=[],
+                        metavar=("BASELINE", "CURRENT"),
+                        help="additional baseline/current file pair "
+                             "(repeatable)")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional slowdown (default 0.15)")
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.current) as fh:
-        current = json.load(fh)
+    failures = []
+    for base_path, cur_path in [(args.baseline, args.current)] + args.pair:
+        with open(base_path) as fh:
+            baseline = json.load(fh)
+        with open(cur_path) as fh:
+            current = json.load(fh)
+        print("-- %s vs %s" % (base_path, cur_path))
+        failures.extend(compare(baseline, current, args.threshold))
 
-    failures = compare(baseline, current, args.threshold)
     if failures:
         for name, base_norm, cur_norm, ratio in failures:
             print("regression: %s is %.1f%% slower than baseline "
