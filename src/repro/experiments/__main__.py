@@ -17,10 +17,11 @@ from dataclasses import replace
 from . import REGISTRY
 from . import ablations, breakdown, sweep
 from . import testbed as testbed_mod
+from .. import telemetry
 from ..config import DEFAULT_CONFIG
 from ..sim import kernel_totals, reset_kernel_totals
 from ..sim import trace as trace_mod
-from ..sim.stats import format_kernel_stats
+from ..telemetry.export import format_kernel_stats
 
 
 def _print_trace(exp_id, needle, limit):
@@ -68,6 +69,13 @@ def main(argv=None):
                         help="after the runs, print the simulator kernel's "
                              "own throughput counters (events processed, "
                              "spawns, heap peak, events/sec)")
+    parser.add_argument("--metrics", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="after the runs, dump the merged telemetry "
+                             "registry: bare --metrics pretty-prints it, "
+                             "--metrics PATH writes the JSON snapshot "
+                             "(schema %s) for report tooling"
+                             % telemetry.SCHEMA)
     parser.add_argument("--batch-size", type=int, default=None, metavar="N",
                         help="coalesce up to N ingress deliveries into one "
                              "RDMA doorbell (LynxProfile.batch_size, §5.2)")
@@ -125,6 +133,11 @@ def main(argv=None):
         parser.error("unknown experiment id(s): %s (use --list)"
                      % ", ".join(unknown))
 
+    # The whole invocation runs inside its own telemetry scope, so the
+    # final --metrics / --kernel-stats dump covers exactly this run and
+    # repeated main() calls (tests, notebooks) do not bleed into each
+    # other through the root registry.
+    telemetry.push_scope()
     if args.kernel_stats:
         reset_kernel_totals()
 
@@ -135,7 +148,12 @@ def main(argv=None):
         for exp_id in wanted:
             start = time.time()
             trace_mod.clear_enabled_tracers()
-            result = REGISTRY[exp_id].run(fast=not args.full, seed=args.seed)
+            with telemetry.scope() as exp_reg:
+                result = REGISTRY[exp_id].run(fast=not args.full,
+                                              seed=args.seed)
+                exp_snap = exp_reg.snapshot()
+            telemetry.registry().merge(exp_snap)
+            result.attach_metrics(exp_snap)
             print(result.render())
             print("(%.1fs)\n" % (time.time() - start))
             if args.trace_channel:
@@ -147,14 +165,22 @@ def main(argv=None):
             for study in ablations.ALL_STUDIES:
                 print(study(fast=not args.full, seed=args.seed).render())
                 print()
+
+        if args.kernel_stats:
+            print(format_kernel_stats(kernel_totals()))
+        if args.metrics is not None:
+            snap = telemetry.snapshot()
+            if args.metrics == "-":
+                print(telemetry.format_snapshot(snap, title="telemetry"))
+            else:
+                telemetry.dump_metrics(snap, args.metrics)
+                print("metrics written to %s" % args.metrics)
     finally:
         sweep.configure(None)
         if overrides:
             testbed_mod.set_active_config(None)
         trace_mod.clear_enabled_tracers()
-
-    if args.kernel_stats:
-        print(format_kernel_stats(kernel_totals()))
+        telemetry.pop_scope()
     return 0
 
 

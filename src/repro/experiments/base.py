@@ -20,6 +20,9 @@ class ExperimentResult:
         self.paper_ref = paper_ref
         self.rows = rows or []
         self.notes = notes or []
+        #: merged telemetry snapshot for the whole run (DESIGN.md §4.9);
+        #: attached by the CLI, empty when the experiment ran bare
+        self.metrics = {}
 
     def add(self, **fields):
         self.rows.append(fields)
@@ -60,15 +63,32 @@ class ExperimentResult:
                                    for c in columns))
         return "\n".join(lines)
 
-    def to_dict(self):
-        """JSON-serializable form (written next to the text tables)."""
-        return {
+    def attach_metrics(self, snapshot):
+        """Attach the run's merged telemetry snapshot (name -> snap)."""
+        self.metrics = dict(snapshot)
+        return self
+
+    def metric(self, name, field="value"):
+        """One field from an attached metric snapshot (KeyError if absent)."""
+        return self.metrics[name][field]
+
+    def to_dict(self, include_metrics=False):
+        """JSON-serializable form (written next to the text tables).
+
+        Metrics stay out by default: the golden serial-vs-parallel
+        identity checks compare ``to_dict()`` and wall-clock metrics
+        (``sim.kernel.wall_seconds``) are host-dependent.
+        """
+        out = {
             "exp_id": self.exp_id,
             "title": self.title,
             "paper_ref": self.paper_ref,
             "rows": self.rows,
             "notes": self.notes,
         }
+        if include_metrics:
+            out["metrics"] = self.metrics
+        return out
 
     def render(self):
         """Full report block: title, table, notes."""

@@ -1,6 +1,7 @@
 """Shared builders for the experiment suite: deploy a GPU service on any
 of the paper's four server designs (§6.1) and drive it with load."""
 
+from .. import telemetry
 from ..apps.base import SpinApp
 from ..baseline import HostCentricServer
 from ..config import K40M
@@ -67,13 +68,17 @@ def deploy(design, app=None, n_mqueues=1, proto=UDP, port=7777, seed=42,
 def measure_saturation(dep, payload_fn, offered_per_sec, proto=UDP,
                        warmup=20000.0, measure=60000.0, clients=2):
     """Open-loop overload: returns delivered responses/s."""
+    reg = telemetry.registry()
     meters = []
     for i in range(clients):
         client = dep.tb.client("10.0.9.%d" % (i + 1))
         OpenLoopGenerator(dep.env, client, dep.address,
                           offered_per_sec / clients / 1e6, payload_fn,
                           proto=proto)
-        meters.append(client.responses)
+        # Fetched through the registry (DESIGN.md §4.9): the client
+        # registers its live meters at construction, so this is the
+        # same object — one measurement path, identical floats.
+        meters.append(reg.get("net.client.%s.responses" % client.ip))
     dep.tb.warmup_then_measure(meters, warmup, measure)
     return sum(m.per_sec() for m in meters)
 
@@ -81,9 +86,11 @@ def measure_saturation(dep, payload_fn, offered_per_sec, proto=UDP,
 def measure_closed_loop(dep, payload_fn, concurrency, proto=UDP,
                         warmup=20000.0, measure=60000.0, timeout=None):
     """Closed-loop drive: returns (throughput/s, latency recorder)."""
+    reg = telemetry.registry()
     client = dep.tb.client("10.0.9.1")
     ClosedLoopGenerator(dep.env, client, dep.address, concurrency,
                         payload_fn, proto=proto, timeout=timeout)
-    dep.tb.warmup_then_measure([client.responses, client.latency],
-                               warmup, measure)
-    return client.responses.per_sec(), client.latency
+    responses = reg.get("net.client.%s.responses" % client.ip)
+    latency = reg.get("net.client.%s.latency" % client.ip)
+    dep.tb.warmup_then_measure([responses, latency], warmup, measure)
+    return responses.per_sec(), latency

@@ -16,19 +16,26 @@ The worker count comes from, in priority order: the ``jobs=`` argument,
 suite's ``--jobs`` pytest option), and the ``REPRO_JOBS`` environment
 variable.  The default is 1, so existing callers are untouched.
 
+Telemetry (DESIGN.md §4.9): every point — inline or in a worker — runs
+inside its own registry scope; when it finishes, its full snapshot is
+merged into the parent registry **in declaration order**.  Serial and
+parallel runs therefore perform the *same* merge arithmetic in the same
+order, so merged metrics (``--kernel-stats``, ``--metrics``) are
+identical across ``--jobs N`` — wall-clock seconds excepted, as those
+measure the host, not the model.
+
 Worker-side state handling:
 
-* each worker resets the tracer registry and the kernel-totals block
-  before running a point, so nothing inherited from the parent (under
-  the ``fork`` start method) leaks into measurements;
+* each worker scrubs the tracer registry and the inherited telemetry
+  scopes before running a point, so nothing inherited from the parent
+  (under the ``fork`` start method) leaks into snapshots;
 * the parent's active config override (``--batch-size`` and friends,
   see :func:`~repro.experiments.testbed.set_active_config`) is shipped
   to workers through the pool initializer, so points behave the same in
   or out of process;
-* each point result travels back with the worker's
-  :func:`~repro.sim.kernel_totals` delta, which the parent folds into
-  its own block via :func:`~repro.sim.merge_kernel_totals` so
-  ``--kernel-stats`` stays correct under ``--jobs N``.
+* each point result travels back with the point's registry snapshot,
+  which the parent merges — there is no kernel-totals special case;
+  ``sim.kernel.*`` rides along with every other instrument.
 
 Tracing (``--trace-channel``) records live in worker memory and are not
 shipped back; the CLI forces serial execution when tracing is enabled.
@@ -38,11 +45,7 @@ import hashlib
 import os
 
 from ..errors import ConfigError
-from ..sim.environment import (
-    kernel_totals,
-    merge_kernel_totals,
-    reset_kernel_totals,
-)
+from .. import telemetry
 from ..sim import trace as trace_mod
 from . import testbed as testbed_mod
 
@@ -135,8 +138,22 @@ def run_points(points, jobs=None):
     if jobs < 1:
         raise ConfigError("jobs must be >= 1, got %r" % (jobs,))
     if jobs == 1 or len(points) <= 1:
-        return [point() for point in points]
+        return [_run_point_scoped(point) for point in points]
     return _run_pool(points, min(jobs, len(points)))
+
+
+def _run_point_scoped(point):
+    """Run one point in its own telemetry scope; merge into the parent.
+
+    The inline twin of :func:`_run_point_task`: identical scope
+    boundaries and merge arithmetic keep serial and parallel metric
+    snapshots bit-identical (DESIGN.md §4.9).
+    """
+    with telemetry.scope() as reg:
+        value = point()
+        snapshot = reg.snapshot()
+    telemetry.registry().merge(snapshot)
+    return value
 
 
 def _run_pool(points, jobs):
@@ -157,8 +174,10 @@ def _run_pool(points, jobs):
         pool.close()
         pool.join()
     values = []
-    for value, totals in outs:
-        merge_kernel_totals(totals)
+    parent = telemetry.registry()
+    for value, snapshot in outs:
+        # Same order, same arithmetic as the serial path above.
+        parent.merge(snapshot)
         values.append(value)
     return values
 
@@ -172,14 +191,20 @@ def _worker_init(config):
 
 
 def _reset_worker_state():
-    """Per-worker scrub: tracer registry and kernel counters."""
+    """Per-worker scrub: tracer registry and inherited telemetry state.
+
+    Dropping the inherited scopes and root instruments matters under
+    ``fork``: the parent's registry holds pull instruments closed over
+    *its* live testbeds, which must not leak into worker snapshots.
+    """
     trace_mod.clear_enabled_tracers()
-    reset_kernel_totals()
+    telemetry.reset_scopes()
 
 
 def _run_point_task(point):
-    """Worker-side task: run one point, ship (value, totals delta)."""
+    """Worker-side task: run one point, ship (value, registry snapshot)."""
     trace_mod.clear_enabled_tracers()
-    reset_kernel_totals()
-    value = point()
-    return value, kernel_totals()
+    with telemetry.scope() as reg:
+        value = point()
+        snapshot = reg.snapshot()
+    return value, snapshot

@@ -12,6 +12,7 @@ Two kinds of work run on cores:
 
 from ..errors import ConfigError
 from ..sim import Resource
+from .. import telemetry
 
 
 class Core:
@@ -84,6 +85,14 @@ class CorePool:
         #: pool-wide cache behaviour of calibrated (serving-path) work
         self.default_memory_intensity = 0.0
         self.default_working_set = 0
+        # Telemetry (DESIGN.md §4.9): the Resource's gauges are already
+        # maintained inline on the hot request/grant/release path —
+        # registering them costs the data plane nothing.  The run-queue
+        # depth gauge is the software stack's queue-depth signal.
+        reg = telemetry.registry()
+        base = "hw.cpu.%s." % self.name
+        reg.register(base + "utilization", self._res.utilization)
+        reg.register(base + "runq_depth", self._res.queue_depth)
 
     @property
     def in_use(self):

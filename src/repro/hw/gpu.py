@@ -17,6 +17,7 @@ Captures exactly the GPU behaviours the paper's results depend on:
 
 from ..errors import AcceleratorError
 from ..sim import Resource
+from .. import telemetry
 from .memory import MemoryRegion, GPU_GDDR_LATENCY
 
 
@@ -97,6 +98,13 @@ class GPU:
         self._exclusive = Resource(env, 1, name="%s-excl" % self.name)
         self._copy_engine = Resource(env, 1, name="%s-dma" % self.name)
         self.kernels_launched = 0
+        # Telemetry (DESIGN.md §4.9): SM-slot utilization (maintained
+        # inline by the Resource) is the device occupancy; launches are
+        # pulled from the plain counter at snapshot time.
+        reg = telemetry.registry()
+        base = "gpu.%s." % self.name
+        reg.register(base + "occupancy", self.sm_slots.utilization)
+        reg.pull(base + "kernels", lambda: self.kernels_launched)
 
     # -- data movement ---------------------------------------------------------
 

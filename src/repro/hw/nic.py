@@ -10,6 +10,7 @@ piece Lynx uses to reach mqueues in accelerator memory, both locally
 
 from .. import units
 from ..sim import Channel, RateMeter
+from .. import telemetry
 from ..net.rdma import RdmaEngine
 
 
@@ -35,6 +36,15 @@ class Nic:
         self._tx = self.tx.issue  # legacy alias (hot-path state machines)
         self.tx_rate = RateMeter(env, name="%s-txrate" % self.name)
         self.rx_rate = RateMeter(env, name="%s-rxrate" % self.name)
+        # Telemetry (DESIGN.md §4.9): live meters register directly,
+        # and the TX serializer's issue-slot gauge is the port's link
+        # utilization.  (RX-ring drop-tail is accounted on the wire
+        # channel, registered by Network.attach as net.wire.<ip>.drops.)
+        reg = telemetry.registry()
+        base = "hw.nic.%s." % ip
+        reg.register(base + "rx.pkts", self.rx_rate)
+        reg.register(base + "tx.pkts", self.tx_rate)
+        reg.register(base + "tx.util", self.tx.issue.utilization)
         network.attach(ip, self)
 
     def send(self, msg):

@@ -21,10 +21,9 @@ Two types (§4.3):
   destination (e.g. a memcached backend) and receive its responses.
 """
 
-from itertools import count
-
 from ..errors import ConfigError
 from ..sim import Channel
+from .. import telemetry
 
 SERVER = "server"
 CLIENT = "client"
@@ -34,11 +33,21 @@ ERR_NONE = 0
 ERR_CONNECTION = 1
 ERR_TIMEOUT = 2
 
-_mq_ids = count(1)
-
 #: §5.1: 4 bytes of metadata (size, error, doorbell) coalesced with the
 #: payload into a single RDMA write.
 METADATA_BYTES = 4
+
+
+def _next_mq_id(env):
+    """Per-environment mqueue sequence for default names.
+
+    Environment-scoped (not a module global) so forked sweep workers and
+    parallel points derive identical default names from identical
+    testbeds — registry keys must not depend on process history.
+    """
+    seq = getattr(env, "_mq_seq", 0) + 1
+    env._mq_seq = seq
+    return seq
 
 
 class MQueueEntry:
@@ -72,7 +81,7 @@ class MQueue:
         if kind == SERVER and destination is not None:
             raise ConfigError("server mqueues are connection-less")
         self.env = env
-        self.mq_id = next(_mq_ids)
+        self.mq_id = _next_mq_id(env)
         self.memory = memory
         self.entries = entries
         self.kind = kind
@@ -95,9 +104,22 @@ class MQueue:
         self.bound_port = None
         #: deliveries parked on RX-ring credits (manager backpressure)
         self.parked = 0
+        #: total deliveries that ever parked (monotonic; `parked` is the
+        #: instantaneous count)
+        self.park_waits = 0
         self.delivered = 0
         self.dropped = 0
         self.sent = 0
+        # Telemetry (DESIGN.md §4.9): pull instruments read the plain
+        # attributes above at snapshot time — the data plane pays
+        # nothing for being observable.
+        reg = telemetry.registry()
+        base = "mqueue.%s." % self.name
+        reg.pull_peak(base + "depth", lambda: self.rx_ring.claimed_peak)
+        reg.pull(base + "delivered", lambda: self.delivered)
+        reg.pull(base + "dropped", lambda: self.dropped)
+        reg.pull(base + "sent", lambda: self.sent)
+        reg.pull(base + "backpressure_waits", lambda: self.park_waits)
 
     # -- SNIC-side (RDMA producer) ---------------------------------------------
 

@@ -48,6 +48,7 @@ from collections import deque
 
 from ..errors import ConfigError
 from ..sim import Channel
+from .. import telemetry
 from .mqueue import METADATA_BYTES, MQueueEntry
 
 
@@ -167,6 +168,7 @@ class _BatchDeliveryOp:
         take = len(backlog)
         if take > manager.batch_size:
             take = manager.batch_size
+        manager.batch_sizes.record(take)
         batch = []
         payload_bytes = 0
         for _ in range(take):
@@ -403,6 +405,14 @@ class RemoteMQManager:
         self._poller = _PollerOp(self)
         self.deliveries = 0
         self.sweeps = 0
+        # Telemetry (DESIGN.md §4.9): doorbell-batch sizes feed a
+        # mergeable histogram (recorded once per RDMA batch, not per
+        # message); the counters are pulled at snapshot time.
+        reg = telemetry.registry()
+        base = "lynx.rmq.%s." % self.name
+        self.batch_sizes = reg.histogram(base + "batch_size")
+        reg.pull(base + "deliveries", lambda: self.deliveries)
+        reg.pull(base + "sweeps", lambda: self.sweeps)
 
     @property
     def engine(self):
@@ -441,6 +451,7 @@ class RemoteMQManager:
             # Park on the ring's credit event; the accelerator's next
             # pop hands the freed credit straight to this delivery.
             mq.parked += 1
+            mq.park_waits += 1
             waiter = mq.rx_ring.claim_wait()
             waiter.callbacks.append(
                 lambda _evt, mq=mq, msg=msg: self._unparked(mq, msg))

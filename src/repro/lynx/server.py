@@ -24,6 +24,7 @@ from ..errors import ConfigError, NetworkError
 from ..net.packet import Address, Message, TCP
 from ..net.stack import NetworkStack, TcpConnection
 from ..sim import NullTracer, RateMeter
+from .. import telemetry
 from .dispatch import RoundRobin
 from .mqueue import CLIENT, ERR_CONNECTION, ERR_TIMEOUT, MQueueEntry, SERVER
 
@@ -364,6 +365,13 @@ class LynxServer:
         self.requests = RateMeter(env, name="%s-reqs" % self.name)
         self.responses = RateMeter(env, name="%s-resps" % self.name)
         self.dropped = 0
+        # Telemetry (DESIGN.md §4.9): the live meters double as the
+        # registry instruments; drops are pulled at snapshot time.
+        reg = telemetry.registry()
+        base = "lynx.server.%s." % self.name
+        reg.register(base + "rx.requests", self.requests)
+        reg.register(base + "tx.responses", self.responses)
+        reg.pull(base + "rx.drops", lambda: self.dropped)
         self._tx_op_pool = []
         # One ingress loop per worker core: admission is bounded by core
         # availability, and overload is shed at the NIC RX ring instead
@@ -390,6 +398,11 @@ class LynxServer:
             binding = _PortBinding(self.env, port, policy or RoundRobin())
             self._ports[port] = binding
             self.stack.listen(port)
+            # Per-tenant accounting (§4.5) in the registry.
+            reg = telemetry.registry()
+            base = "lynx.server.%s.port.%d." % (self.name, port)
+            reg.register(base + "rx.requests", binding.requests)
+            reg.register(base + "tx.responses", binding.responses)
         elif policy is not None:
             binding.policy = policy
         for mq in mqueues:

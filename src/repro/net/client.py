@@ -14,6 +14,7 @@ methodology:
 from .. import units
 from ..errors import NetworkError
 from ..sim import Channel, LatencyRecorder, RateMeter
+from .. import telemetry
 from .packet import Address, Message, TCP, UDP
 from .stack import TcpConnection
 
@@ -113,6 +114,14 @@ class Client:
         self.latency = LatencyRecorder(env, name="%s-latency" % self.name)
         self.responses = RateMeter(env, name="%s-rate" % self.name)
         self.sent = RateMeter(env, name="%s-sent" % self.name)
+        # Telemetry (DESIGN.md §4.9): the live recorder/meters double as
+        # the registry instruments (the recorder snapshots as a
+        # mergeable log-bucketed histogram; local samples stay exact).
+        reg = telemetry.registry()
+        base = "net.client.%s." % ip
+        reg.register(base + "latency", self.latency)
+        reg.register(base + "responses", self.responses)
+        reg.register(base + "sent", self.sent)
         self._waiters = {}
         self._next_port = 40000
         self._send_op_pool = []

@@ -13,6 +13,7 @@ from collections import deque
 
 from ..errors import NetworkError
 from ..sim import Channel
+from .. import telemetry
 
 
 class _FabricCounters:
@@ -67,9 +68,15 @@ class Network:
         # Drop-tail at the receiver's RX ring: a finite NIC ring is what
         # keeps an overloaded server stable instead of building an
         # unbounded backlog.
-        self._channels[ip] = Channel(
+        channel = Channel(
             self.env, name="wire->%s" % ip, latency=self.one_way_latency,
             sink=endpoint.rx)
+        self._channels[ip] = channel
+        # Telemetry (DESIGN.md §4.9): the wire channel carries the
+        # endpoint's RX-ring drop-tail accounting.
+        reg = telemetry.registry()
+        reg.pull("net.wire.%s.delivered" % ip, lambda: channel.delivered)
+        reg.pull("net.wire.%s.drops" % ip, lambda: channel.dropped)
 
     def endpoint(self, ip):
         try:

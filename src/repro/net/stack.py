@@ -19,7 +19,8 @@ from itertools import count
 from ..errors import NetworkError
 from .packet import Message, TCP, UDP
 
-_conn_ids = count(1)
+# Debug identity for connection repr, not a metric.
+_conn_ids = count(1)  # lint: allow-global-counter
 
 
 class TcpConnection:

@@ -6,13 +6,16 @@
 import os
 import sys
 
-from .scorecard import render_scorecard, score_results_dir
+from .scorecard import (load_results_metrics, render_scorecard,
+                        score_results_dir)
 
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     results_dir = argv[0] if argv else os.path.join("benchmarks", "results")
-    print(render_scorecard(score_results_dir(results_dir)))
+    scores = score_results_dir(results_dir)
+    metrics = load_results_metrics(results_dir)
+    print(render_scorecard(scores, metrics=metrics))
     return 0
 
 

@@ -19,6 +19,13 @@ import math
 import os
 
 from ..errors import ConfigError
+from ..telemetry import materialize
+from ..telemetry.export import load_metrics
+
+#: filename of the merged telemetry snapshot (written by
+#: ``python -m repro.experiments --metrics PATH``) the scorecard
+#: summarizes alongside the per-experiment grades
+METRICS_FILENAME = "metrics.json"
 
 MATCH_REL = 0.25
 NEAR_REL = 0.60
@@ -95,8 +102,57 @@ def score_results_dir(results_dir):
     return scores
 
 
-def render_scorecard(scores):
-    """Printable scorecard with per-experiment and overall tallies."""
+def load_results_metrics(results_dir):
+    """The telemetry snapshot shipped with the results, or ``None``.
+
+    Looks for ``metrics.json`` (see :data:`METRICS_FILENAME`) in
+    *results_dir*; validates the ``repro.telemetry/1`` schema.
+    """
+    path = os.path.join(results_dir, METRICS_FILENAME)
+    if not os.path.isfile(path):
+        return None
+    return load_metrics(path)
+
+
+def summarize_metrics(metrics):
+    """Health summary rows from a merged telemetry snapshot.
+
+    Surfaces the signals a reviewer checks first: how much simulation
+    backed the numbers, whether anything was dropped along the way, and
+    the shape of the client-observed latency histograms.
+    """
+    rows = []
+
+    def counter_sum(suffixes):
+        total, n = 0, 0
+        for name, snap in metrics.items():
+            if snap.get("kind") == "counter" and name.endswith(suffixes):
+                total += snap.get("value", 0)
+                n += 1
+        return total, n
+
+    kernel = metrics.get("sim.kernel.events_processed")
+    if kernel is not None:
+        rows.append(("kernel events processed", "%d" % kernel["value"]))
+    drops, n_drop = counter_sum((".drops", ".dropped"))
+    rows.append(("drop counters (%d instruments)" % n_drop, "%d" % drops))
+    trace_drops = metrics.get("sim.trace.dropped")
+    if trace_drops is not None and trace_drops.get("value"):
+        rows.append(("tracer records dropped", "%d" % trace_drops["value"]))
+    for name, snap in metrics.items():
+        if snap.get("kind") == "histogram" and snap.get("count"):
+            hist = materialize(snap)
+            rows.append((name, "n=%d p50=%.1f p99=%.1f max=%.1f"
+                         % (hist.count, hist.p50(), hist.p99(), hist.max)))
+    return rows
+
+
+def render_scorecard(scores, metrics=None):
+    """Printable scorecard with per-experiment and overall tallies.
+
+    *metrics* (optional) is a merged telemetry snapshot — the decoded
+    ``metrics.json`` — appended as a health-summary section.
+    """
     lines = ["reproduction scorecard", "=" * 60]
     tally = {"MATCH": 0, "NEAR": 0, "DEVIATES": 0}
     for exp_id in sorted(scores):
@@ -111,4 +167,10 @@ def render_scorecard(scores):
                  "paper-anchored values"
                  % (tally["MATCH"], 100 * tally["MATCH"] / total,
                     tally["NEAR"], tally["DEVIATES"], total))
+    if metrics:
+        lines.append("")
+        lines.append("telemetry summary (%d instruments)" % len(metrics))
+        lines.append("-" * 60)
+        for label, value in summarize_metrics(metrics):
+            lines.append("%-44s %s" % (label, value))
     return "\n".join(lines)

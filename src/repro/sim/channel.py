@@ -83,6 +83,10 @@ class Channel(Store):
         # Producer credits: slots claimed for transfers still in flight
         # plus items already buffered (the SNIC-side shadow-index view).
         self._claimed = 0
+        #: high-water mark of the claim accounting (ring-depth peak);
+        #: maintained on the claim paths only, so the put/get fast
+        #: paths stay Store's untouched bound methods.
+        self.claimed_peak = 0
         self._credit_waiters = deque()
         # Uniform per-hop statistics.
         self.sent = 0
@@ -168,9 +172,13 @@ class Channel(Store):
 
     def try_claim(self):
         """Reserve one slot for an in-flight transfer; False when full."""
-        if self._claimed >= self.capacity:
+        claimed = self._claimed
+        if claimed >= self.capacity:
             return False
-        self._claimed += 1
+        claimed += 1
+        self._claimed = claimed
+        if claimed > self.claimed_peak:
+            self.claimed_peak = claimed
         return True
 
     def claim_wait(self):
@@ -181,8 +189,12 @@ class Channel(Store):
         woken (credit in hand) when a consumer frees a slot.
         """
         event = Event(self.env)
-        if self._claimed < self.capacity:
-            self._claimed += 1
+        claimed = self._claimed
+        if claimed < self.capacity:
+            claimed += 1
+            self._claimed = claimed
+            if claimed > self.claimed_peak:
+                self.claimed_peak = claimed
             event.succeed()
         else:
             self._credit_waiters.append(event)

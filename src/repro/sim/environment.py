@@ -28,6 +28,7 @@ from heapq import heappush
 from time import perf_counter
 
 from ..errors import SimulationError
+from .. import telemetry
 from .events import (
     Event, Timeout, Charge, Process, Task, NORMAL, URGENT, any_of, all_of,
 )
@@ -36,49 +37,56 @@ from .trace import NullTracer
 #: Max events/tasks kept on a free list (per environment).
 _POOL_CAP = 4096
 
-#: Counter keys accumulated across environments (see :func:`kernel_totals`).
+#: Counter keys accumulated across environments (see :func:`kernel_totals`),
+#: surfaced through the telemetry registry as ``sim.kernel.<key>``.
 _TOTAL_KEYS = (
     "events_processed", "processes_spawned", "tasks_spawned",
     "charges_created", "charges_reused", "wall_seconds",
 )
 
-_TOTALS = {key: 0 for key in _TOTAL_KEYS}
-_TOTALS["heap_peak"] = 0
+_PREFIX = "sim.kernel."
 
 
 def kernel_totals():
-    """Process-wide kernel counters, summed over every environment run.
+    """Kernel counters summed over every environment run in this scope.
 
-    Experiments construct one environment per run; the per-run counters
-    are flushed into this module-level block at the end of each
-    ``Environment.run()`` so a CLI can report simulator throughput
-    without holding references to the environments involved.
+    Thin shim over the telemetry registry: per-run counters are flushed
+    into ``sim.kernel.*`` instruments at the end of each
+    ``Environment.run()``, so a CLI can report simulator throughput
+    without holding references to the environments involved.  Keeps the
+    historical plain-dict shape (counter keys + ``heap_peak`` +
+    computed ``events_per_sec``).
     """
-    totals = dict(_TOTALS)
+    reg = telemetry.registry()
+    totals = {}
+    for key in _TOTAL_KEYS:
+        inst = reg.get(_PREFIX + key)
+        totals[key] = inst.value if inst is not None else 0
+    peak = reg.get(_PREFIX + "heap_peak")
+    totals["heap_peak"] = peak.value if peak is not None else 0
     wall = totals["wall_seconds"]
     totals["events_per_sec"] = totals["events_processed"] / wall if wall > 0 else 0.0
     return totals
 
 
 def reset_kernel_totals():
-    for key in _TOTALS:
-        _TOTALS[key] = 0
+    """Zero the ``sim.kernel.*`` instruments in the current scope."""
+    telemetry.registry().reset(prefix="sim.kernel")
 
 
 def merge_kernel_totals(snapshot):
-    """Fold another process's :func:`kernel_totals` snapshot into ours.
+    """Fold a :func:`kernel_totals` dict into the current registry.
 
-    The parallel sweep executor runs simulations in worker processes,
-    whose counters live in *their* module-level ``_TOTALS`` block; each
-    worker ships its snapshot back with the point result and the parent
-    merges here so ``--kernel-stats`` covers the whole sweep.  Counters
+    Thin shim kept for callers holding legacy plain-dict snapshots; the
+    sweep executor itself now merges full registry snapshots.  Counters
     add; ``heap_peak`` takes the max; ``wall_seconds`` therefore sums
-    *worker CPU seconds*, not elapsed time, under ``--jobs N``.
+    *worker CPU seconds*, not elapsed time, when merging across
+    processes.
     """
+    reg = telemetry.registry()
     for key in _TOTAL_KEYS:
-        _TOTALS[key] += snapshot.get(key, 0)
-    if snapshot.get("heap_peak", 0) > _TOTALS["heap_peak"]:
-        _TOTALS["heap_peak"] = snapshot["heap_peak"]
+        reg.counter(_PREFIX + key).inc(snapshot.get(key, 0))
+    reg.peak(_PREFIX + "heap_peak").record(snapshot.get("heap_peak", 0))
 
 
 class EmptySchedule(Exception):
@@ -388,14 +396,23 @@ class Environment:
         }
 
     def _flush_totals(self):
-        """Fold this environment's counter deltas into the module totals."""
+        """Fold this environment's counter deltas into the current
+        telemetry registry (``sim.kernel.*``).
+
+        Deltas, not absolutes: ``run()`` may be called many times per
+        environment, and an environment may outlive a registry scope —
+        each flush credits only what accrued since the previous one to
+        whichever scope is active now.
+        """
+        reg = telemetry.registry()
         flushed = self._flushed
         for key in _TOTAL_KEYS:
             value = getattr(self, key)
-            _TOTALS[key] += value - flushed[key]
-            flushed[key] = value
-        if self.heap_peak > _TOTALS["heap_peak"]:
-            _TOTALS["heap_peak"] = self.heap_peak
+            delta = value - flushed[key]
+            if delta:
+                reg.counter(_PREFIX + key).inc(delta)
+                flushed[key] = value
+        reg.peak(_PREFIX + "heap_peak").record(self.heap_peak)
 
 
 class _StopSimulation(Exception):

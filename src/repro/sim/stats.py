@@ -1,31 +1,65 @@
-"""Measurement instruments.
+"""Measurement instruments bound to a simulation clock.
 
-All instruments support a *warmup* cut: samples recorded before
-``reset(at_time)`` (or before the recorder's ``start`` argument) are
-discarded, matching the paper's 2-second warmup methodology (§6).
+All instruments support a *warmup* cut: state recorded before
+``reset(at_time)`` (or, for :class:`LatencyRecorder`, before its
+``start`` argument) is discarded, matching the paper's 2-second warmup
+methodology (§6).  ``at_time`` defaults to the environment's current
+time; passing it explicitly restarts the measurement window at a chosen
+simulated instant (e.g. a scheduled warmup boundary) even when the
+reset itself runs slightly later.
+
+Every instrument also speaks the telemetry protocol
+(``kind``/``snapshot()``/``merge()``, DESIGN.md §4.9) so it can be
+registered in the :mod:`repro.telemetry` registry and merged across
+sweep workers.  Snapshots reduce to mergeable forms — a
+:class:`LatencyRecorder` snapshots as a fixed-layout log-bucketed
+histogram — while the live objects keep their exact-sample semantics.
 """
 
 import math
-from collections import defaultdict
 
 import numpy as np
 
+from ..telemetry import instruments as _ti
+from ..telemetry.export import format_kernel_stats  # noqa: F401  (CLI shim)
+
 
 class LatencyRecorder:
-    """Collects individual samples and reports exact percentiles."""
+    """Collects individual samples and reports exact percentiles.
 
-    def __init__(self, env, name=None):
+    ``start`` (optional) is the warmup cut: samples recorded while
+    ``env.now < start`` are discarded by :meth:`record`.  (Hot paths
+    that append to ``_samples`` directly — the client RX fast path —
+    bypass the cut and rely on :meth:`reset` at the warmup boundary
+    instead.)
+    """
+
+    kind = "histogram"
+
+    def __init__(self, env, name=None, start=None):
         self.env = env
         self.name = name or "latency"
+        self.start = start
         self._samples = []
+        self._merged = None
 
     def record(self, value):
-        """Append one latency sample (us)."""
+        """Append one latency sample (us); dropped before ``start``."""
+        if self.start is not None and self.env.now < self.start:
+            return
         self._samples.append(value)
 
-    def reset(self):
-        """Drop everything recorded so far (end of warmup)."""
+    def reset(self, at_time=None):
+        """Drop everything recorded so far (end of warmup).
+
+        ``at_time`` moves the warmup cut: samples recorded before that
+        simulated time (including future ones, if it lies ahead of the
+        clock) are discarded as well.
+        """
         self._samples = []
+        self._merged = None
+        if at_time is not None:
+            self.start = at_time
 
     @property
     def count(self):
@@ -79,24 +113,46 @@ class LatencyRecorder:
             "max": self.max(),
         }
 
+    def snapshot(self):
+        """Mergeable form: the samples bucketed into a LogHistogram."""
+        hist = _ti.LogHistogram()
+        if self._samples:
+            hist.record_many(self._samples)
+        if self._merged is not None:
+            hist.merge(self._merged.snapshot())
+        return hist.snapshot()
+
+    def merge(self, snap):
+        """Fold a foreign histogram snapshot in (kept out of the exact
+        local samples; it only surfaces through :meth:`snapshot`)."""
+        if self._merged is None:
+            self._merged = _ti.LogHistogram()
+        self._merged.merge(snap)
+
 
 class RateMeter:
     """Counts events and reports a rate over the measured interval."""
+
+    kind = "rate"
 
     def __init__(self, env, name=None):
         self.env = env
         self.name = name or "rate"
         self.count = 0
         self._start = env.now
+        self._merged_count = 0
+        self._merged_elapsed = 0.0
 
     def tick(self, n=1):
         """Count *n* events."""
         self.count += n
 
-    def reset(self):
-        """Restart the measurement window at the current time."""
+    def reset(self, at_time=None):
+        """Restart the measurement window (at ``at_time`` if given)."""
         self.count = 0
-        self._start = self.env.now
+        self._start = self.env.now if at_time is None else at_time
+        self._merged_count = 0
+        self._merged_elapsed = 0.0
 
     @property
     def elapsed(self):
@@ -113,93 +169,31 @@ class RateMeter:
         """Event rate per second over the window."""
         return self.per_us() * 1e6
 
+    def snapshot(self):
+        return {"kind": "rate",
+                "count": self.count + self._merged_count,
+                "elapsed": self.elapsed + self._merged_elapsed}
 
-class TimeWeightedGauge:
-    """Tracks a piecewise-constant value; reports its time-weighted mean."""
+    def merge(self, snap):
+        """Fold a foreign rate snapshot in (surfaces only through
+        :meth:`snapshot`; the live window stays untouched)."""
+        self._merged_count += snap["count"]
+        self._merged_elapsed += snap["elapsed"]
+
+
+class TimeWeightedGauge(_ti.TimeWeightedGauge):
+    """Tracks a piecewise-constant value; reports its time-weighted mean.
+
+    The simulation-clock binding of the telemetry gauge: reads the
+    environment's ``now``.  The internals (``_value``/``_area``/
+    ``_last_change``/``_max``) are updated with inlined code by
+    ``sim/resources.py`` on the hot path — keep the attribute names.
+    """
 
     def __init__(self, env, initial=0.0):
         self.env = env
-        self._value = initial
-        self._last_change = env.now
-        self._area = 0.0
-        self._start = env.now
-        self._max = initial
-
-    @property
-    def value(self):
-        """Current gauge value."""
-        return self._value
-
-    def set(self, value):
-        """Change the gauge value at the current time."""
-        if value == self._value:
-            # No-op update: the running area accrues at the same rate
-            # either way, so defer the accrual to the next real change.
-            return
-        now = self.env.now
-        self._area += self._value * (now - self._last_change)
-        self._value = value
-        self._last_change = now
-        if value > self._max:
-            self._max = value
-
-    def reset(self):
-        """Restart time-weighted accounting at the current value."""
-        self._area = 0.0
-        self._start = self.env.now
-        self._last_change = self.env.now
-        self._max = self._value
-
-    def mean(self):
-        """Time-weighted mean since the last reset."""
-        now = self.env.now
-        total = now - self._start
-        if total <= 0:
-            return self._value
-        area = self._area + self._value * (now - self._last_change)
-        return area / total
-
-    def max(self):
-        """Largest value seen since the last reset."""
-        return self._max
+        super().__init__(clock=lambda: env.now, initial=initial)
 
 
-class Counter:
+class Counter(_ti.LabelledCounter):
     """A labelled monotonic counter bundle (e.g. per-message-type)."""
-
-    def __init__(self):
-        self._counts = defaultdict(int)
-
-    def inc(self, label, n=1):
-        """Increment *label* by *n*."""
-        self._counts[label] += n
-
-    def get(self, label):
-        """Current count for *label* (0 if never incremented)."""
-        return self._counts.get(label, 0)
-
-    def as_dict(self):
-        """Snapshot of all labelled counts."""
-        return dict(self._counts)
-
-
-def format_kernel_stats(stats):
-    """Render a kernel counter block (see ``Environment.kernel_stats`` /
-    ``sim.kernel_totals``) as an aligned, human-readable table."""
-    lines = ["simulator kernel:"]
-    total_charges = stats.get("charges_created", 0) + stats.get("charges_reused", 0)
-    reuse = (100.0 * stats.get("charges_reused", 0) / total_charges
-             if total_charges else 0.0)
-    rows = [
-        ("events processed", "{:,}".format(stats.get("events_processed", 0))),
-        ("processes spawned", "{:,}".format(stats.get("processes_spawned", 0))),
-        ("detached tasks", "{:,}".format(stats.get("tasks_spawned", 0))),
-        ("pooled charges", "{:,} ({:.1f}% reused)".format(total_charges, reuse)),
-        ("heap peak", "{:,}".format(stats.get("heap_peak", 0))),
-        ("wall-clock in run()", "%.2f s" % stats.get("wall_seconds", 0.0)),
-        ("events/sec", "{:,.0f}".format(stats.get("events_per_sec", 0.0))),
-    ]
-    width = max(len(label) for label, _ in rows)
-    for label, value in rows:
-        lines.append("  %-*s  %s" % (width, label, value))
-    return "\n".join(lines)

@@ -11,6 +11,8 @@ warns once when the buffer overflowed.
 
 import warnings
 
+from .. import telemetry
+
 #: tracers constructed with ``enabled=True``, newest last (bounded);
 #: lets the experiments CLI collect records from testbeds it never
 #: sees directly (``--trace-channel``).
@@ -38,7 +40,13 @@ class Tracer:
         #: records rejected because the buffer hit ``limit``
         self.dropped = 0
         self._overflow_warned = False
+        self._drop_counter = None
         if enabled:
+            # Drops also count into the telemetry registry; the counter
+            # binds to the scope active at construction, alongside the
+            # testbed whose channels this tracer observes.
+            self._drop_counter = telemetry.registry().counter(
+                "sim.trace.dropped")
             if len(_enabled_tracers) >= _MAX_ENABLED:
                 del _enabled_tracers[0]
             _enabled_tracers.append(self)
@@ -48,6 +56,7 @@ class Tracer:
             return
         if len(self.records) >= self.limit:
             self.dropped += 1
+            self._drop_counter.inc()
             return
         self.records.append((self.env.now, channel, event, msg_id, detail))
 
@@ -79,7 +88,8 @@ class Tracer:
             if not self._overflow_warned:
                 self._overflow_warned = True
                 warnings.warn(
-                    "tracer dropped %d records past limit=%d"
+                    "tracer dropped %d records past limit=%d "
+                    "(telemetry counter: sim.trace.dropped)"
                     % (self.dropped, self.limit), RuntimeWarning,
                     stacklevel=2)
             lines.append("... %d records dropped past limit=%d ..."

@@ -1,0 +1,131 @@
+"""Rendering and (de)serialization for registry snapshots.
+
+The JSON schema (consumed by ``repro.report.scorecard``)::
+
+    {
+      "schema": "repro.telemetry/1",
+      "metrics": {
+        "<dotted.name>": {"kind": "counter", "value": 123},
+        "<dotted.name>": {"kind": "histogram", "count": ..., "sum": ...,
+                           "min": ..., "max": ..., "zeros": ...,
+                           "buckets": {"<idx>": n, ...}},
+        ...
+      }
+    }
+
+``metrics`` is exactly what ``MetricsRegistry.snapshot()`` returns, so
+a dumped file can be merged straight back into a registry.
+"""
+
+import json
+import math
+
+from .instruments import materialize
+
+__all__ = ["SCHEMA", "format_snapshot", "format_kernel_stats",
+           "dump_metrics", "dumps_metrics", "load_metrics"]
+
+SCHEMA = "repro.telemetry/1"
+
+
+def _fmt_num(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return "%.3g" % value
+        return "%.3f" % value
+    return "{:,}".format(value)
+
+
+def _describe(snap):
+    kind = snap["kind"]
+    if kind in ("counter", "peak"):
+        return _fmt_num(snap["value"])
+    if kind == "labelled":
+        values = snap["values"]
+        return ", ".join("%s=%s" % (k, _fmt_num(values[k]))
+                         for k in sorted(values)) or "-"
+    if kind == "rate":
+        acc = materialize(snap)
+        return "%s events, %s/s" % (_fmt_num(snap["count"]),
+                                    _fmt_num(acc.per_sec()))
+    if kind == "gauge":
+        elapsed = snap["elapsed"]
+        mean = snap["area"] / elapsed if elapsed > 0 else 0.0
+        return "mean %s, max %s" % (_fmt_num(mean), _fmt_num(snap["max"]))
+    if kind == "histogram":
+        hist = materialize(snap)
+        return ("n=%s mean=%s p50=%s p99=%s max=%s"
+                % (_fmt_num(snap["count"]), _fmt_num(hist.mean()),
+                   _fmt_num(hist.p50()), _fmt_num(hist.p99()),
+                   _fmt_num(snap["max"])))
+    return repr(snap)
+
+
+def format_snapshot(snapshot, prefix="", title="telemetry"):
+    """Render a registry snapshot as an aligned, human-readable table."""
+    names = [n for n in sorted(snapshot)
+             if not prefix or n == prefix or n.startswith(prefix + ".")]
+    if not names:
+        return "%s: (no instruments)" % title
+    width = max(len(n) for n in names)
+    lines = ["%s: %d instruments" % (title, len(names))]
+    for name in names:
+        snap = snapshot[name]
+        lines.append("  %-*s  %-9s  %s"
+                     % (width, name, snap["kind"], _describe(snap)))
+    return "\n".join(lines)
+
+
+def format_kernel_stats(stats):
+    """Render a kernel counter block (see ``Environment.kernel_stats`` /
+    ``sim.kernel_totals``) as an aligned, human-readable table."""
+    lines = ["simulator kernel:"]
+    total_charges = stats.get("charges_created", 0) + stats.get("charges_reused", 0)
+    reuse = (100.0 * stats.get("charges_reused", 0) / total_charges
+             if total_charges else 0.0)
+    rows = [
+        ("events processed", "{:,}".format(stats.get("events_processed", 0))),
+        ("processes spawned", "{:,}".format(stats.get("processes_spawned", 0))),
+        ("detached tasks", "{:,}".format(stats.get("tasks_spawned", 0))),
+        ("pooled charges", "{:,} ({:.1f}% reused)".format(total_charges, reuse)),
+        ("heap peak", "{:,}".format(stats.get("heap_peak", 0))),
+        ("wall-clock in run()", "%.2f s" % stats.get("wall_seconds", 0.0)),
+        ("events/sec", "{:,.0f}".format(stats.get("events_per_sec", 0.0))),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        lines.append("  %-*s  %s" % (width, label, value))
+    return "\n".join(lines)
+
+
+def dumps_metrics(snapshot):
+    """Serialize a registry snapshot to the ``repro.telemetry/1`` JSON."""
+    return json.dumps({"schema": SCHEMA, "metrics": snapshot},
+                      indent=2, sort_keys=False)
+
+
+def dump_metrics(snapshot, path):
+    """Write the ``repro.telemetry/1`` JSON document to *path*."""
+    with open(path, "w") as fh:
+        fh.write(dumps_metrics(snapshot))
+        fh.write("\n")
+
+
+def load_metrics(path_or_file):
+    """Load a metrics dump; returns the ``{name: snap}`` dict.
+
+    Raises ``ValueError`` on a missing or unknown ``schema`` tag.
+    """
+    if hasattr(path_or_file, "read"):
+        doc = json.load(path_or_file)
+    else:
+        with open(path_or_file) as fh:
+            doc = json.load(fh)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema != SCHEMA:
+        raise ValueError("not a %s document (schema=%r)" % (SCHEMA, schema))
+    return doc["metrics"]

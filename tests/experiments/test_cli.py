@@ -50,3 +50,35 @@ class TestChannelFlags:
         assert "wire->" in out
         assert enabled_tracers() == []  # registry drained afterwards
         assert testbed.active_config() is None
+
+
+class TestMetricsFlag:
+    def test_bare_flag_pretty_prints_registry(self, capsys):
+        assert main(["E01", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert "sim.kernel.events_processed" in out
+
+    def test_path_writes_schema_tagged_json(self, capsys, tmp_path):
+        from repro.telemetry import load_metrics
+
+        path = tmp_path / "metrics.json"
+        assert main(["E01", "--metrics", str(path)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        metrics = load_metrics(str(path))
+        assert metrics["sim.kernel.events_processed"]["value"] > 0
+        kinds = {snap["kind"] for snap in metrics.values()}
+        assert {"counter", "rate", "gauge", "peak"} <= kinds
+
+    def test_run_scope_does_not_leak_into_root(self):
+        from repro import telemetry
+
+        root_before = len(telemetry.registry())
+        assert main(["E01", "--metrics", "/dev/null"]) == 0
+        assert len(telemetry.registry()) == root_before
+
+    def test_kernel_stats_still_prints_via_shim(self, capsys):
+        assert main(["E01", "--kernel-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "simulator kernel:" in out
+        assert "events processed" in out

@@ -188,6 +188,29 @@ class TestGoldenParallelIdentity:
                            jobs=2).to_dict()
         assert parallel == serial
 
+    def test_e04_metric_snapshots_identical_across_jobs(self):
+        """The merged telemetry snapshot — every instrument, not just
+        the result rows — must be invisible to --jobs (DESIGN.md §4.9).
+
+        Only ``sim.kernel.wall_seconds`` differs: it times the host,
+        not the model.
+        """
+        from repro import telemetry
+
+        def metrics(jobs):
+            with telemetry.scope() as reg:
+                e04.run(fast=True, seed=42, measure=2000.0,
+                        warmup=2000.0, jobs=jobs)
+                snap = reg.snapshot()
+            snap.pop("sim.kernel.wall_seconds", None)
+            return snap
+
+        serial = metrics(1)
+        assert serial  # a run with no instruments would prove nothing
+        assert any(name.startswith("net.client.") for name in serial)
+        parallel = metrics(4)
+        assert parallel == serial
+
 
 class TestCliJobsFlag:
     def test_rejects_zero(self, capsys):

@@ -44,6 +44,42 @@ class TestLatencyRecorder:
         assert set(summary) == {"count", "mean", "p50", "p90", "p99",
                                 "min", "max"}
 
+    def test_start_argument_drops_warmup_samples(self, env):
+        # The docstring-promised warmup cut: samples recorded while
+        # env.now < start never enter the recorder.
+        rec = LatencyRecorder(env, start=10.0)
+
+        def proc(env):
+            rec.record(999.0)          # t=0: warmup, dropped
+            yield env.timeout(10)
+            rec.record(5.0)            # t=10: measured
+
+        env.process(proc(env))
+        env.run()
+        assert rec.count == 1
+        assert rec.p50() == 5.0
+
+    def test_reset_at_time_installs_new_cut(self, env):
+        rec = LatencyRecorder(env)
+        rec.record(999.0)
+        rec.reset(at_time=20.0)        # cut ahead of the clock (t=0)
+        rec.record(888.0)              # still warmup: env.now < 20
+        assert rec.count == 0
+        assert rec.start == 20.0
+
+    def test_snapshot_is_mergeable_histogram(self, env):
+        rec = LatencyRecorder(env)
+        rec.record(100.0)
+        snap = rec.snapshot()
+        assert snap["kind"] == "histogram" and snap["count"] == 1
+        other = LatencyRecorder(env)
+        other.record(200.0)
+        other.merge(snap)
+        merged = other.snapshot()
+        assert merged["count"] == 2
+        # exact local stats are unaffected by foreign merges
+        assert other.count == 1 and other.p50() == 200.0
+
 
 class TestRateMeter:
     def test_rate_over_elapsed_time(self, env):
@@ -71,6 +107,15 @@ class TestRateMeter:
     def test_zero_elapsed_is_nan(self, env):
         meter = RateMeter(env)
         assert math.isnan(meter.per_us())
+
+    def test_reset_at_time_backdates_window(self, env):
+        meter = RateMeter(env)
+        meter.tick(100)
+        env.run(until=10)
+        meter.reset(at_time=5.0)       # warmup cut at t=5, reset at t=10
+        env.run(until=25)
+        meter.tick(10)
+        assert meter.per_us() == pytest.approx(10 / 20.0)
 
 
 class TestTimeWeightedGauge:
@@ -101,6 +146,16 @@ class TestTimeWeightedGauge:
         env.run(until=10)
         assert gauge.mean() == pytest.approx(100)
         assert gauge.max() == 100
+
+    def test_reset_at_time_backdates_window(self, env):
+        gauge = TimeWeightedGauge(env)
+        gauge.set(100)
+        env.run(until=8)
+        gauge.reset(at_time=4.0)
+        env.run(until=12)
+        snap = gauge.snapshot()
+        assert snap["elapsed"] == pytest.approx(8.0)
+        assert gauge.mean() == pytest.approx(100.0)
 
 
 class TestCounter:

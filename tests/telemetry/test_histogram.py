@@ -1,0 +1,137 @@
+"""The mergeable log-bucketed histogram (ISSUE 4's tentpole datatype).
+
+Integer-valued samples are used for the merge-order tests: their float
+sums stay exact well below 2**53, so associativity/commutativity can be
+asserted as *equality*, not approximation.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import LogHistogram
+
+
+def fill(values):
+    hist = LogHistogram()
+    for v in values:
+        hist.record(v)
+    return hist
+
+
+def shards(rng, n_shards=6, lo=1, hi=10 ** 7, per_shard=300):
+    return [rng.integers(lo, hi, size=per_shard).astype(float)
+            for _ in range(n_shards)]
+
+
+class TestLayout:
+    def test_layout_is_fixed(self):
+        assert LogHistogram.BUCKETS_PER_DECADE == 16
+        assert LogHistogram.NBUCKETS == (LogHistogram.MAX_EXP
+                                         - LogHistogram.MIN_EXP) * 16
+        assert LogHistogram.MAX_REL_ERROR == pytest.approx(
+            10 ** (1 / 32) - 1)
+
+    def test_out_of_range_clamps_to_edge_buckets(self):
+        assert LogHistogram.bucket_index(1e-300) == 0
+        assert LogHistogram.bucket_index(1e300) == LogHistogram.NBUCKETS - 1
+
+    def test_nonpositive_goes_to_zeros_bucket(self):
+        hist = fill([0.0, -3.0, 5.0])
+        snap = hist.snapshot()
+        assert snap["zeros"] == 2
+        assert snap["count"] == 3
+        assert snap["min"] == -3.0
+
+    def test_record_many_matches_record(self):
+        values = [0.0, 0.5, 1.0, 2.5, 99.0, 1e-9, 1e9]
+        bulk = LogHistogram()
+        bulk.record_many(values)
+        assert bulk.snapshot() == fill(values).snapshot()
+
+
+class TestMergeAlgebra:
+    def test_merge_is_commutative(self):
+        rng = np.random.default_rng(7)
+        a, b = (fill(s) for s in shards(rng, n_shards=2))
+        ab = LogHistogram()
+        ab.merge(a.snapshot())
+        ab.merge(b.snapshot())
+        ba = LogHistogram()
+        ba.merge(b.snapshot())
+        ba.merge(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_merge_is_associative(self):
+        rng = np.random.default_rng(11)
+        parts = shards(rng, n_shards=6)
+        snaps = [fill(s).snapshot() for s in parts]
+        # (((s0+s1)+s2)+...) vs pairwise tree merges vs reversed order:
+        # the fixed bucket layout makes them all land on the same state.
+        left = LogHistogram()
+        for snap in snaps:
+            left.merge(snap)
+        tree_pairs = []
+        for i in range(0, len(snaps), 2):
+            node = LogHistogram()
+            node.merge(snaps[i])
+            node.merge(snaps[i + 1])
+            tree_pairs.append(node.snapshot())
+        tree = LogHistogram()
+        for snap in reversed(tree_pairs):
+            tree.merge(snap)
+        assert left.snapshot() == tree.snapshot()
+
+    def test_merged_equals_single_pass(self):
+        rng = np.random.default_rng(13)
+        parts = shards(rng, n_shards=4)
+        merged = LogHistogram()
+        for part in parts:
+            merged.merge(fill(part).snapshot())
+        assert merged.snapshot() == fill(np.concatenate(parts)).snapshot()
+
+
+class TestPercentiles:
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal", "bimodal"])
+    def test_parity_with_numpy_lower(self, dist):
+        rng = np.random.default_rng(23)
+        if dist == "uniform":
+            values = rng.uniform(1.0, 1e5, size=5000)
+        elif dist == "lognormal":
+            values = np.exp(rng.normal(4.0, 2.0, size=5000))
+        else:
+            values = np.concatenate([rng.uniform(1, 10, 2500),
+                                     rng.uniform(1e4, 1e5, 2500)])
+        hist = LogHistogram()
+        hist.record_many(values)
+        for q in (10, 50, 90, 99, 99.9):
+            exact = float(np.percentile(values, q, method="lower"))
+            approx = hist.percentile(q)
+            assert approx == pytest.approx(
+                exact, rel=LogHistogram.MAX_REL_ERROR)
+
+    def test_zeros_dominate_low_percentiles(self):
+        hist = fill([0.0] * 90 + [100.0] * 10)
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(95) == pytest.approx(100.0, rel=0.08)
+
+    def test_empty_is_nan(self):
+        import math
+        assert math.isnan(LogHistogram().percentile(50))
+        assert math.isnan(LogHistogram().mean())
+
+
+class TestSnapshotForm:
+    def test_snapshot_survives_json_round_trip(self):
+        rng = np.random.default_rng(3)
+        hist = LogHistogram()
+        hist.record_many(rng.integers(1, 10 ** 6, 500).astype(float))
+        snap = hist.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_reset_zeroes_in_place(self):
+        hist = fill([1.0, 10.0])
+        alias = hist
+        hist.reset()
+        assert alias.count == 0 and alias.buckets == {} and alias.min is None

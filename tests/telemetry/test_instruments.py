@@ -1,0 +1,174 @@
+"""Instrument protocol: kind / snapshot / merge / reset(at_time)."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    LabelledCounter,
+    LogHistogram,
+    PeakGauge,
+    PullCounter,
+    PullPeak,
+    RateStat,
+    TimeWeightedGauge,
+    materialize,
+)
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"kind": "counter", "value": 5}
+
+    def test_merge_adds(self):
+        c = Counter()
+        c.inc(2)
+        c.merge({"kind": "counter", "value": 40})
+        assert c.value == 42
+
+    def test_reset_in_place(self):
+        c = Counter()
+        alias = c  # cached reference must stay valid across reset
+        c.inc(9)
+        c.reset()
+        assert alias.value == 0
+
+
+class TestPeakGauge:
+    def test_tracks_max(self):
+        p = PeakGauge()
+        p.record(3)
+        p.record(7)
+        p.record(5)
+        assert p.snapshot() == {"kind": "peak", "value": 7}
+
+    def test_merge_takes_max(self):
+        p = PeakGauge()
+        p.record(7)
+        p.merge({"kind": "peak", "value": 5})
+        assert p.value == 7
+        p.merge({"kind": "peak", "value": 11})
+        assert p.value == 11
+
+
+class TestLabelledCounter:
+    def test_labels_independent(self):
+        c = LabelledCounter()
+        c.inc("drops")
+        c.inc("drops", 2)
+        c.inc("sends")
+        assert c.get("drops") == 3
+        assert c.as_dict() == {"drops": 3, "sends": 1}
+
+    def test_merge_unions_labels(self):
+        c = LabelledCounter()
+        c.inc("a")
+        c.merge({"kind": "labelled", "values": {"a": 2, "b": 5}})
+        assert c.as_dict() == {"a": 3, "b": 5}
+
+
+class TestPullInstruments:
+    def test_pull_counter_reads_live_state(self):
+        state = {"hits": 0}
+        c = PullCounter(lambda: state["hits"])
+        state["hits"] = 7
+        assert c.value == 7
+        assert c.snapshot()["value"] == 7
+
+    def test_reset_captures_baseline(self):
+        state = {"hits": 10}
+        c = PullCounter(lambda: state["hits"])
+        c.reset()  # warmup cut: forget the first 10
+        state["hits"] = 25
+        assert c.value == 15
+
+    def test_merge_accumulates_on_top_of_live(self):
+        state = {"hits": 1}
+        c = PullCounter(lambda: state["hits"])
+        c.merge({"kind": "counter", "value": 100})
+        assert c.value == 101
+
+    def test_pull_peak_max_of_live_and_merged(self):
+        state = {"depth": 3}
+        p = PullPeak(lambda: state["depth"])
+        assert p.value == 3
+        p.merge({"kind": "peak", "value": 8})
+        assert p.value == 8
+        state["depth"] = 12
+        assert p.value == 12
+
+
+class TestTimeWeightedGauge:
+    def fake_clock(self):
+        clock = {"now": 0.0}
+        return clock, (lambda: clock["now"])
+
+    def test_mean_weighs_by_time(self):
+        clock, tick = self.fake_clock()
+        g = TimeWeightedGauge(clock=tick)
+        g.set(10)
+        clock["now"] = 4.0
+        g.set(0)
+        clock["now"] = 8.0
+        assert g.mean() == pytest.approx(5.0)
+        assert g.max() == 10
+
+    def test_reset_at_time_backdates_window(self):
+        clock, tick = self.fake_clock()
+        g = TimeWeightedGauge(clock=tick)
+        g.set(100)
+        clock["now"] = 6.0
+        g.reset(at_time=2.0)  # warmup cut at t=2, reset ran at t=6
+        clock["now"] = 12.0
+        # Value held at 100 since the cut: mean over [2, 12] is 100.
+        assert g.mean() == pytest.approx(100.0)
+        snap = g.snapshot()
+        assert snap["elapsed"] == pytest.approx(10.0)
+        assert snap["area"] == pytest.approx(1000.0)
+
+    def test_merge_combines_windows(self):
+        clock, tick = self.fake_clock()
+        g = TimeWeightedGauge(clock=tick)
+        g.set(4)
+        clock["now"] = 10.0  # local: area 40 over 10
+        g.merge({"kind": "gauge", "area": 60.0, "elapsed": 10.0, "max": 6})
+        assert g.mean() == pytest.approx(5.0)  # (40 + 60) / (10 + 10)
+        assert g.snapshot()["max"] == 6
+
+
+class TestRateStat:
+    def test_rate_math(self):
+        r = RateStat()
+        r.merge({"kind": "rate", "count": 50, "elapsed": 100.0})
+        assert r.per_us() == pytest.approx(0.5)
+        assert r.per_sec() == pytest.approx(0.5e6)
+
+    def test_zero_window_is_nan(self):
+        assert math.isnan(RateStat().per_us())
+
+    def test_merge_pools_windows(self):
+        r = RateStat()
+        r.merge({"kind": "rate", "count": 10, "elapsed": 10.0})
+        r.merge({"kind": "rate", "count": 30, "elapsed": 10.0})
+        assert r.per_us() == pytest.approx(2.0)
+
+
+class TestMaterialize:
+    def test_round_trips_every_kind(self):
+        hist = LogHistogram()
+        hist.record(3.0)
+        gauge = TimeWeightedGauge()
+        gauge.merge({"kind": "gauge", "area": 5.0, "elapsed": 2.0, "max": 4})
+        for inst in (Counter(7), PeakGauge(3), hist, gauge, RateStat(4, 2.0)):
+            snap = inst.snapshot()
+            clone = materialize(snap)
+            assert clone.snapshot() == snap
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            materialize({"kind": "sparkline"})

@@ -1,0 +1,136 @@
+"""Registry semantics: naming, snapshot/merge, scopes."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Counter, MetricsRegistry
+from repro.telemetry.registry import _stack
+
+
+class TestRegistration:
+    def test_get_or_create_factories(self):
+        reg = MetricsRegistry()
+        c = reg.counter("sim.kernel.events")
+        assert reg.counter("sim.kernel.events") is c  # idempotent
+        assert reg.get("sim.kernel.events") is c
+        assert "sim.kernel.events" in reg
+        assert len(reg) == 1
+
+    def test_register_replaces_latest_wins(self):
+        reg = MetricsRegistry()
+        old = reg.counter("x")
+        new = Counter()
+        reg.register("x", new)
+        assert reg.get("x") is new and reg.get("x") is not old
+
+    def test_names_filter_by_dotted_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("lynx.server.a.rx.drops")
+        reg.counter("lynx.server.a.tx.sent")
+        reg.counter("lynx.rmq.q.sweeps")
+        assert reg.names("lynx.server.a") == ["lynx.server.a.rx.drops",
+                                              "lynx.server.a.tx.sent"]
+        # "lynx.serv" is not a dotted-path ancestor of lynx.server.*
+        assert reg.names("lynx.serv") == []
+
+
+class TestSnapshotMergeReset:
+    def test_snapshot_preserves_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(1)
+        reg.counter("a").inc(2)
+        assert list(reg.snapshot()) == ["b", "a"]
+
+    def test_merge_into_live_instrument(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("n").inc(5)
+        dst.counter("n").inc(2)
+        dst.merge(src.snapshot())
+        assert dst.get("n").value == 7
+
+    def test_merge_materializes_unknown_names(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.histogram("lat").record(3.0)
+        dst.merge(src.snapshot())
+        assert dst.get("lat").count == 1
+
+    def test_merge_kind_clash_replaces(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.peak("m").record(9)
+        dst.counter("m").inc(1)
+        dst.merge(src.snapshot())
+        assert dst.get("m").snapshot() == {"kind": "peak", "value": 9}
+
+    def test_merge_is_associative_across_registries(self):
+        snaps = []
+        for n in (3, 5, 7):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(n)
+            reg.peak("p").record(n)
+            snaps.append(reg.snapshot())
+        one = MetricsRegistry()
+        for snap in snaps:
+            one.merge(snap)
+        other = MetricsRegistry()
+        for snap in reversed(snaps):
+            other.merge(snap)
+        assert one.snapshot() == other.snapshot()
+
+    def test_reset_in_place_keeps_cached_refs(self):
+        reg = MetricsRegistry()
+        ref = reg.counter("sim.kernel.events")
+        ref.inc(10)
+        reg.reset(prefix="sim.kernel")
+        assert ref.value == 0
+        ref.inc(1)  # the cached reference still feeds the registry
+        assert reg.get("sim.kernel.events").value == 1
+
+    def test_reset_respects_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.kernel.events").inc(3)
+        reg.counter("net.client.sent").inc(4)
+        reg.reset(prefix="sim.kernel")
+        assert reg.get("sim.kernel.events").value == 0
+        assert reg.get("net.client.sent").value == 4
+
+
+class TestScopes:
+    def test_scope_isolates_and_merges(self):
+        root = telemetry.registry()
+        before = root.get("scoped.n").value if "scoped.n" in root else 0
+        with telemetry.scope() as reg:
+            assert telemetry.registry() is reg
+            reg.counter("scoped.n").inc(5)
+            snap = reg.snapshot()
+        assert telemetry.registry() is root
+        root.merge(snap)
+        try:
+            assert root.get("scoped.n").value == before + 5
+        finally:
+            root.unregister("scoped.n")
+
+    def test_scope_exit_removes_leaked_pushes(self):
+        depth = len(_stack)
+        with telemetry.scope():
+            telemetry.push_scope()  # a callee forgot to pop
+            telemetry.push_scope()
+        assert len(_stack) == depth
+
+    def test_root_scope_cannot_be_popped(self):
+        depth = len(_stack)
+        with pytest.raises(RuntimeError):
+            for _ in range(depth + 1):
+                telemetry.pop_scope()
+
+    def test_reset_scopes_clears_everything(self):
+        telemetry.push_scope()
+        telemetry.registry().counter("junk").inc()
+        telemetry.reset_scopes()
+        assert len(_stack) == 1
+        assert "junk" not in telemetry.registry()
+
+    def test_module_snapshot_helper_reads_current_scope(self):
+        with telemetry.scope() as reg:
+            reg.counter("helper.n").inc(2)
+            snap = telemetry.snapshot("helper")
+        assert snap == {"helper.n": {"kind": "counter", "value": 2}}

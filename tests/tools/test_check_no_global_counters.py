@@ -1,0 +1,134 @@
+"""The module-global-counter lint (tools/check_no_global_counters.py)."""
+
+import importlib.util
+import os
+import textwrap
+
+import pytest
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                     "tools", "check_no_global_counters.py")
+_spec = importlib.util.spec_from_file_location("check_no_global_counters",
+                                               _TOOL)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def write(tmp_path, relpath, body):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return str(path)
+
+
+class TestCheckModule:
+    def test_global_reassigned_numeric_flagged(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            events = 0
+
+            def bump():
+                global events
+                events += 1
+            """)
+        findings = lint.check_module(path)
+        assert len(findings) == 1
+        assert "events" in findings[0][1]
+
+    def test_plain_constant_not_flagged(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            THRESHOLD = 0.25
+
+            def grade(x):
+                return x < THRESHOLD
+            """)
+        assert lint.check_module(path) == []
+
+    def test_itertools_count_flagged(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            from itertools import count
+            _ids = count(1)
+            """)
+        findings = lint.check_module(path)
+        assert findings and "count" in findings[0][1]
+
+    def test_collections_counter_and_defaultdict_flagged(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            import collections
+            stats = collections.Counter()
+            hits = collections.defaultdict(int)
+            """)
+        assert len(lint.check_module(path)) == 2
+
+    def test_accumulator_dict_flagged(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            _totals = {"events": 0, "spawns": 0}
+            """)
+        findings = lint.check_module(path)
+        assert findings and "accumulator dict" in findings[0][1]
+
+    def test_allow_marker_suppresses(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            from itertools import count
+            _ids = count(1)  # lint: allow-global-counter
+            """)
+        assert lint.check_module(path) == []
+
+    def test_non_numeric_global_not_flagged(self, tmp_path):
+        # sweep._active_jobs-style: a None-valued module setting that is
+        # reassigned via `global` is configuration, not a counter.
+        path = write(tmp_path, "mod.py", """\
+            _active = None
+
+            def configure(v):
+                global _active
+                _active = v
+            """)
+        assert lint.check_module(path) == []
+
+
+class TestTreeWalk:
+    def test_telemetry_dir_exempt(self, tmp_path):
+        write(tmp_path, "repro/telemetry/instruments.py", """\
+            total = 0
+
+            def bump():
+                global total
+                total += 1
+            """)
+        write(tmp_path, "repro/net/mod.py", "x = 'fine'\n")
+        found = [os.path.relpath(p, str(tmp_path))
+                 for p in lint.iter_sources(str(tmp_path))]
+        assert found == [os.path.join("repro", "net", "mod.py")]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        write(tmp_path, "clean.py", "NAME = 'ok'\n")
+        assert lint.main([str(tmp_path)]) == 0
+        write(tmp_path, "dirty.py", """\
+            n = 0
+
+            def f():
+                global n
+                n = n + 1
+            """)
+        assert lint.main([str(tmp_path)]) == 1
+        assert "dirty.py" in capsys.readouterr().out
+
+    def test_repo_source_tree_is_clean(self):
+        src = os.path.join(os.path.dirname(_TOOL), os.pardir, "src", "repro")
+        findings = []
+        for path in lint.iter_sources(src):
+            findings.extend(lint.check_module(path))
+        assert findings == []
+
+
+class TestRepoPolicy:
+    def test_sim_environment_has_no_totals_dict(self):
+        # The tentpole removed the module-global kernel-totals dict; the
+        # shims must stay registry-backed.
+        import inspect
+
+        from repro.sim import environment
+
+        source = inspect.getsource(environment)
+        assert "_TOTALS = {" not in source
+        assert "telemetry" in source

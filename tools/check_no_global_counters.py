@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Fail if new module-global mutable counters appear outside telemetry.
+
+DESIGN.md §4.9 moved every measurement path onto the instrument
+registry in ``repro/telemetry/``; module-global counters are how
+process-wide state used to leak across sweep points and fork workers
+(they survive into forked children and break serial-vs-parallel
+bit-identity).  This lint keeps them from creeping back in.
+
+Usage::
+
+    python tools/check_no_global_counters.py [SRC_DIR]
+
+Flags, per module under ``SRC_DIR`` (default ``src/repro``, with
+``repro/telemetry/`` itself exempt — it is the one place allowed to own
+mutable metric state):
+
+* a module-level name bound to a numeric literal and reassigned through
+  a ``global`` statement inside a function (the classic counter);
+* a module-level binding of ``itertools.count(...)``, a
+  ``collections.Counter(...)``, or ``defaultdict(int/float)`` — shared
+  sequence/counter state in disguise;
+* a module-level dict literal whose values are all numeric literals and
+  whose name smells like an accumulator (``*_totals``, ``*_counters``,
+  ``*_stats``).
+
+A deliberate exception can be marked with ``# lint: allow-global-counter``
+on the offending line.
+"""
+
+import argparse
+import ast
+import os
+import sys
+
+ALLOW_MARKER = "lint: allow-global-counter"
+
+#: constructor calls that amount to module-global counter state
+_COUNTER_CALLS = {"count", "Counter"}
+_ACCUMULATOR_NAMES = ("_totals", "_counters", "_stats")
+
+
+def _is_numeric_literal(node):
+    return (isinstance(node, ast.Constant)
+            and type(node.value) in (int, float))
+
+
+def _call_name(node):
+    """Dotted-or-bare name of a Call's callee, or None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _assigned_names(node):
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            yield target.id
+
+
+def _globals_reassigned(tree):
+    """Names declared ``global`` and assigned inside any function."""
+    reassigned = set()
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        declared = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        if not declared:
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                reassigned.update(set(_assigned_names(node)) & declared)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    if node.target.id in declared:
+                        reassigned.add(node.target.id)
+    return reassigned
+
+
+def _flag_value(name, value):
+    """Why this module-level binding looks like counter state, or None."""
+    if isinstance(value, ast.Call):
+        callee = _call_name(value)
+        if callee in _COUNTER_CALLS:
+            return "module-global %s(...) sequence/counter state" % callee
+        if callee == "defaultdict" and value.args \
+                and isinstance(value.args[0], ast.Name) \
+                and value.args[0].id in ("int", "float"):
+            return "module-global defaultdict(%s) counter map" \
+                % value.args[0].id
+    if isinstance(value, ast.Dict) and value.values \
+            and all(_is_numeric_literal(v) for v in value.values) \
+            and name.lower().endswith(_ACCUMULATOR_NAMES):
+        return "module-global accumulator dict"
+    return None
+
+
+def check_module(path):
+    """Return [(lineno, message)] findings for one source file."""
+    with open(path) as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # pragma: no cover - repo must parse
+        return [(exc.lineno or 0, "syntax error: %s" % exc)]
+    lines = source.splitlines()
+
+    def allowed(lineno):
+        return 0 < lineno <= len(lines) and ALLOW_MARKER in lines[lineno - 1]
+
+    findings = []
+    reassigned = _globals_reassigned(tree)
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None or allowed(node.lineno):
+            continue
+        for name in _assigned_names(node):
+            reason = _flag_value(name, value)
+            if reason is None and _is_numeric_literal(value) \
+                    and name in reassigned:
+                reason = ("module-global numeric %r reassigned via "
+                          "'global'" % name)
+            if reason:
+                findings.append((node.lineno, "%s: %s" % (name, reason)))
+    return findings
+
+
+def iter_sources(src_dir):
+    for dirpath, dirnames, filenames in os.walk(src_dir):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        if os.path.basename(dirpath) == "telemetry":
+            dirnames[:] = []
+            continue
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("src_dir", nargs="?",
+                        default=os.path.join("src", "repro"))
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.src_dir):
+        print("no source directory at %r" % args.src_dir, file=sys.stderr)
+        return 2
+    failures = 0
+    for path in iter_sources(args.src_dir):
+        for lineno, message in check_module(path):
+            print("%s:%d: %s" % (path, lineno, message))
+            failures += 1
+    if failures:
+        print("\n%d module-global counter(s) found — route metric state "
+              "through repro.telemetry instead (see DESIGN.md §4.9)"
+              % failures, file=sys.stderr)
+        return 1
+    print("no module-global counters outside repro/telemetry")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
