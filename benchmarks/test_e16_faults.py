@@ -1,0 +1,19 @@
+"""Benchmark E16 — goodput and p99 under escalating fault schedules
+(extension beyond the paper: §5.1 error model end to end)."""
+
+from repro.experiments import e16_faults as exp
+from repro.experiments.common import HOST_CENTRIC, LYNX_BLUEFIELD
+
+
+def test_e16_faults(run_experiment):
+    result = run_experiment(exp)
+    for design in (HOST_CENTRIC, LYNX_BLUEFIELD):
+        clean = result.find(design=design, level="none")
+        worst = result.find(design=design, level="loss+stall+outage")
+        assert clean["injected"] == 0 and clean["retries"] == 0
+        assert worst["injected"] > 0
+        assert worst["goodput_krps"] < clean["goodput_krps"]
+    # Lynx degrades gracefully: it sheds with error responses while the
+    # accelerator is dark instead of parking requests.
+    assert result.find(design=LYNX_BLUEFIELD,
+                       level="loss+stall+outage")["shed"] > 0

@@ -23,3 +23,7 @@ class NetworkError(ReproError):
 
 class AcceleratorError(ReproError):
     """Accelerator-side failure (bad kernel, out of SM slots, ...)."""
+
+
+class FaultError(ConfigError):
+    """An invalid fault schedule or fault-injection target."""

@@ -21,6 +21,7 @@ from . import (
     e13_facever,
     e14_vma_stack,
     e15_consistency_barrier,
+    e16_faults,
 )
 from .base import ExperimentResult
 from .testbed import Testbed
@@ -41,6 +42,7 @@ REGISTRY = {
     "E13": e13_facever,
     "E14": e14_vma_stack,
     "E15": e15_consistency_barrier,
+    "E16": e16_faults,
 }
 
 

@@ -1,0 +1,151 @@
+"""E16 — goodput and p99 latency under escalating fault schedules.
+
+An extension beyond the paper's tables, exercising the §5.1 error
+model end to end: the same closed-loop drive runs against Lynx on the
+Bluefield and against the host-centric baseline while a deterministic
+fault schedule escalates across four levels —
+
+* ``none``            — clean run (the control row);
+* ``loss``            — packet-loss and corruption bursts on the
+                        server's wire link;
+* ``loss+stall``      — plus an RX-ring stall, an SNIC dispatcher/
+                        forwarder pause, and an SNIC restart that
+                        flushes the NIC RX ring;
+* ``loss+stall+outage`` — plus an accelerator crash with a restart:
+                        Lynx drains the mqueues, sheds with
+                        ``ERR_UNAVAILABLE`` error responses while the
+                        accelerator is dark, and the client's
+                        retry-with-backoff recovers the load.
+
+Clients retry failed attempts (timeout or error response) with
+exponential backoff and RNG-drawn jitter, so each row also reports the
+recovery traffic: retries, shed errors, timeouts, and the injector's
+``faults.injected/dropped/recovered`` totals.  Every fault decision
+draws from named RNG streams and every window rides the event kernel,
+so a fixed seed reproduces each row bit-identically — serial or
+fanned across sweep workers.
+"""
+
+from .. import telemetry
+from ..apps.base import SpinApp
+from ..faults import (
+    AcceleratorOutage,
+    FaultInjector,
+    FaultSchedule,
+    LinkCorruption,
+    LinkLoss,
+    RxRingStall,
+    SnicPause,
+    SnicRestart,
+)
+from ..net import ClosedLoopGenerator
+from ..net.packet import UDP
+from .base import ExperimentResult, krps
+from .common import HOST_CENTRIC, LYNX_BLUEFIELD, LYNX_XEON_6, deploy
+from .sweep import Point, run_points
+
+#: escalation levels, in presentation order
+LEVELS = ("none", "loss", "loss+stall", "loss+stall+outage")
+
+MESSAGE_BYTES = 64
+KERNEL_US = 100.0
+N_MQUEUES = 4
+CONCURRENCY = 4
+TIMEOUT_US = 2500.0
+RETRIES = 3
+RETRY_BACKOFF_US = 400.0
+
+
+def _schedule_for(level, ip, t0, span):
+    """The fault windows of one escalation level, laid inside the
+    measurement window [t0, t0 + span) so every row measures the same
+    mix of faulted and fault-free time."""
+    specs = []
+    if "loss" in level:
+        specs.append(LinkLoss(ip, start=t0 + 0.10 * span,
+                              duration=0.20 * span, probability=0.10))
+        specs.append(LinkCorruption(ip, start=t0 + 0.32 * span,
+                                    duration=0.10 * span, probability=0.08))
+    if "stall" in level:
+        specs.append(RxRingStall(ip, start=t0 + 0.48 * span,
+                                 duration=1200.0))
+        specs.append(SnicPause(start=t0 + 0.58 * span, duration=1000.0))
+        specs.append(SnicRestart(start=t0 + 0.66 * span, duration=800.0))
+    if "outage" in level:
+        specs.append(AcceleratorOutage(start=t0 + 0.78 * span,
+                                       duration=0.12 * span, mode="crash"))
+    return FaultSchedule(specs)
+
+
+def measure_faulted(design, level, measure, warmup, seed):
+    """One point: deploy *design*, arm *level*'s schedule, drive it."""
+    dep = deploy(design, app=SpinApp(KERNEL_US), n_mqueues=N_MQUEUES,
+                 proto=UDP, seed=seed)
+    t0 = dep.env.now + warmup
+    schedule = _schedule_for(level, dep.address.ip, t0, measure)
+    injector = FaultInjector(schedule).arm(dep)
+    reg = telemetry.registry()
+    client = dep.tb.client("10.0.9.1")
+    gen = ClosedLoopGenerator(dep.env, client, dep.address, CONCURRENCY,
+                              lambda i: b"x" * MESSAGE_BYTES, proto=UDP,
+                              timeout=TIMEOUT_US, retries=RETRIES,
+                              retry_backoff=RETRY_BACKOFF_US)
+    responses = reg.get("net.client.%s.responses" % client.ip)
+    latency = reg.get("net.client.%s.latency" % client.ip)
+    dep.tb.warmup_then_measure([responses, latency], warmup, measure)
+    return {
+        "goodput": responses.per_sec(),
+        "p99": latency.percentile(99) if latency.count else 0.0,
+        "retries": client.retries,
+        "timeouts": gen.timeouts,
+        "errors": gen.errors,
+        "shed": getattr(dep.server, "shed", 0),
+        "injected": injector.total("injected"),
+        "lost": injector.total("dropped"),
+        "recovered": injector.total("recovered"),
+    }
+
+
+def sweep_points(fast=True, seed=42, measure=None):
+    """One point per (design, escalation level)."""
+    designs = ((HOST_CENTRIC, LYNX_BLUEFIELD) if fast
+               else (HOST_CENTRIC, LYNX_XEON_6, LYNX_BLUEFIELD))
+    if measure is None:
+        measure = 30000.0 if fast else 60000.0
+    warmup = 15000.0 if fast else 20000.0
+    points = []
+    for design in designs:
+        for level in LEVELS:
+            points.append(Point(
+                ("E16", design, level), measure_faulted,
+                dict(design=design, level=level, measure=measure,
+                     warmup=warmup),
+                root_seed=seed))
+    return points, designs
+
+
+def run(fast=True, seed=42, measure=None, jobs=None):
+    """Run this experiment; see the module docstring for the context."""
+    result = ExperimentResult(
+        "E16", "goodput and p99 latency under escalating fault schedules",
+        "extension (§5.1 error model)")
+    points, designs = sweep_points(fast, seed, measure=measure)
+    values = dict(zip((p.key for p in points), run_points(points, jobs=jobs)))
+    for design in designs:
+        for level in LEVELS:
+            v = values[("E16", design, level)]
+            result.add(design=design, level=level,
+                       goodput_krps=krps(v["goodput"]),
+                       p99_us=round(v["p99"], 1),
+                       retries=v["retries"], timeouts=v["timeouts"],
+                       errors=v["errors"], shed=v["shed"],
+                       injected=v["injected"], lost=v["lost"],
+                       recovered=v["recovered"])
+    result.note("while the accelerator is dark, Lynx sheds with "
+                "ERR_UNAVAILABLE error responses instead of parking "
+                "requests; client retry-with-backoff recovers goodput "
+                "once each fault window clears")
+    result.note("fixed seed => identical rows for --jobs 1 and --jobs 4; "
+                "E01-E15 are bit-identical with this layer present but "
+                "unarmed")
+    return result

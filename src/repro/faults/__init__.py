@@ -1,0 +1,32 @@
+"""Deterministic fault injection and recovery (DESIGN.md §4.10).
+
+Declarative fault schedules (:mod:`repro.faults.schedule`) compiled
+onto a live deployment by a :class:`FaultInjector`
+(:mod:`repro.faults.injector`).  Nothing in this package is imported by
+the data plane — arming a schedule installs per-instance hooks, and an
+unarmed simulation is bit-identical to one without this package.
+"""
+
+from .injector import FaultInjector
+from .schedule import (
+    AcceleratorOutage,
+    FaultSchedule,
+    FaultSpec,
+    LinkCorruption,
+    LinkLoss,
+    RxRingStall,
+    SnicPause,
+    SnicRestart,
+)
+
+__all__ = [
+    "AcceleratorOutage",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "LinkCorruption",
+    "LinkLoss",
+    "RxRingStall",
+    "SnicPause",
+    "SnicRestart",
+]

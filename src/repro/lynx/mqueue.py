@@ -32,6 +32,8 @@ CLIENT = "client"
 ERR_NONE = 0
 ERR_CONNECTION = 1
 ERR_TIMEOUT = 2
+#: the accelerator behind this mqueue is dark; the SNIC shed the request
+ERR_UNAVAILABLE = 3
 
 #: §5.1: 4 bytes of metadata (size, error, doorbell) coalesced with the
 #: payload into a single RDMA write.
@@ -166,6 +168,25 @@ class MQueue:
             raise ConfigError("mqueue %s is not registered with an RMQ manager"
                               % self.name)
         self.tx_doorbell.put(self)
+
+    # -- fault recovery -----------------------------------------------------------
+
+    def drain(self):
+        """Flush both rings after an accelerator crash; returns entries lost.
+
+        RX entries release their producer credits as they are discarded
+        — parked backpressure deliveries wake with a fresh slot, which
+        is exactly how service resumes after the restart.  Unconsumed TX
+        entries (responses the dead kernel never shipped) are dropped.
+        """
+        lost = 0
+        while self.rx_ring.try_get() is not None:
+            self.rx_ring.release_claim()
+            lost += 1
+        while self.tx_ring.try_get() is not None:
+            lost += 1
+        self.dropped += lost
+        return lost
 
     # -- introspection -------------------------------------------------------------
 

@@ -74,12 +74,15 @@ class AppContext:
 class GpuService:
     """Handle onto a started accelerator service (for stats/tests)."""
 
-    def __init__(self, gpu, manager, mqueues, contexts, threadblocks):
+    def __init__(self, gpu, manager, mqueues, contexts, threadblocks,
+                 respawn=None):
         self.gpu = gpu
         self.manager = manager
         self.mqueues = mqueues
         self.contexts = contexts
         self.threadblocks = threadblocks
+        #: zero-argument hook rebuilding the threadblocks (fault restart)
+        self._respawn = respawn
 
     @property
     def dropped(self):
@@ -88,6 +91,53 @@ class GpuService:
     @property
     def delivered(self):
         return sum(mq.delivered for mq in self.mqueues)
+
+    # -- fault injection / recovery ------------------------------------------
+
+    def interrupt(self, cause=None):
+        """Kill every live threadblock at the current time.
+
+        Also withdraws the dead blocks' parked ring waits: a stale get
+        left in the RX ring would silently swallow the first entry
+        delivered after a restart, and a stale put would inject a dead
+        producer's entry.  Returns the number of threadblocks killed.
+        """
+        killed = 0
+        for tb in self.threadblocks:
+            if getattr(tb, "is_alive", False):
+                tb.interrupt(cause)
+                killed += 1
+        for mq in self.mqueues:
+            mq.rx_ring.purge_waiters()
+            mq.tx_ring.purge_waiters()
+        return killed
+
+    def drain_rings(self):
+        """Crash recovery: drop both rings' contents on every mqueue.
+
+        Returns the number of entries lost.  Freed RX credits wake
+        parked backpressure deliveries, which is how ingress resumes.
+        """
+        return sum(mq.drain() for mq in self.mqueues)
+
+    def restart(self):
+        """Respawn the persistent kernel after :meth:`interrupt`.
+
+        Reclaims the dead threadblocks' persistent SM slots first (the
+        interrupt path deliberately leaks them, mirroring the dead
+        generator), so repeated restarts stay within
+        ``max_threadblocks``.  Returns the new threadblock list.
+        """
+        if self._respawn is None:
+            raise AcceleratorError(
+                "service on %s cannot restart: no respawn hook"
+                % getattr(self.gpu, "name", "<gpu>"))
+        for tb in self.threadblocks:
+            release = getattr(tb, "release_sm_slot", None)
+            if release is not None:
+                release()
+        self.threadblocks = self._respawn()
+        return self.threadblocks
 
 
 class LynxRuntime:
@@ -198,18 +248,25 @@ class LynxRuntime:
                     "%s supports at most %d resident threadblocks, asked "
                     "for %d" % (gpu.name, gpu.profile.max_threadblocks,
                                 n_mqueues))
-            procs = [_ThreadblockOp(self.env, gpu, io, app, contexts[tb])
-                     for tb in range(n_mqueues)]
-            gpu.kernels_launched += 1
+            def respawn():
+                gpu.kernels_launched += 1
+                return [_ThreadblockOp(self.env, gpu, io, app, contexts[tb])
+                        for tb in range(n_mqueues)]
+
+            procs = respawn()
         else:
             # Apps with a custom handle() coroutine (backend RPCs,
             # pipeline relays) keep the interruptible generator loop.
             def body_factory(tb):
                 return _service_loop(self.env, io, app, contexts[tb])
 
-            procs = gpu.persistent_kernel(n_mqueues, body_factory,
-                                          name="%s-%s" % (gpu.name, app.name))
-        return GpuService(gpu, manager, mqs, contexts, procs)
+            def respawn():
+                return gpu.persistent_kernel(
+                    n_mqueues, body_factory,
+                    name="%s-%s" % (gpu.name, app.name))
+
+            procs = respawn()
+        return GpuService(gpu, manager, mqs, contexts, procs, respawn=respawn)
 
 
     def start_pipeline(self, stages, port, proto=UDP):
@@ -240,7 +297,7 @@ class _ThreadblockOp(Event):
     """
 
     __slots__ = ("gpu", "io", "app", "ctx", "mq", "entry", "result", "out",
-                 "_target", "_target_cb", "_dp_req", "_dp_slot")
+                 "_target", "_target_cb", "_dp_req", "_dp_slot", "_slot")
 
     def __init__(self, env, gpu, io, app, ctx):
         self.env = env
@@ -260,6 +317,7 @@ class _ThreadblockOp(Event):
         self._target_cb = None
         self._dp_req = None
         self._dp_slot = None
+        self._slot = None
         env._kick(self._begin)
 
     @property
@@ -312,10 +370,28 @@ class _ThreadblockOp(Event):
 
     def _begin(self, _event):
         # _persistent_block: claim the threadblock's SM slot forever.
-        self._wait(self.gpu.sm_slots.request(), self._slot_granted)
+        req = self.gpu.sm_slots.request()
+        self._slot = req
+        self._wait(req, self._slot_granted)
 
     def _slot_granted(self, _event):
         self._arm()
+
+    def release_sm_slot(self):
+        """Return the persistent SM slot after death (restart path only).
+
+        ``interrupt`` leaks the slot exactly as the dead generator did —
+        this explicit reclaim is what an accelerator *restart* calls so
+        the respawned kernel boots within ``max_threadblocks``.
+        """
+        slot = self._slot
+        if slot is None or self._value is PENDING:
+            return
+        self._slot = None
+        if slot.triggered:
+            slot.release()
+        else:
+            slot.cancel()
 
     def _arm(self):
         self._wait(self.mq.pop_rx(), self._on_entry)

@@ -26,7 +26,14 @@ from ..net.stack import NetworkStack, TcpConnection
 from ..sim import NullTracer, RateMeter
 from .. import telemetry
 from .dispatch import RoundRobin
-from .mqueue import CLIENT, ERR_CONNECTION, ERR_TIMEOUT, MQueueEntry, SERVER
+from .mqueue import (
+    CLIENT,
+    ERR_CONNECTION,
+    ERR_TIMEOUT,
+    ERR_UNAVAILABLE,
+    MQueueEntry,
+    SERVER,
+)
 
 
 class _PortBinding:
@@ -189,12 +196,37 @@ class _RxOp:
 
     def _dispatch(self, mq):
         """The retired ``_dispatch_to``: post cost, then RDMA delivery."""
+        server = self.server
+        manager = server._manager_of(mq)
+        if server._dark_managers and manager in server._dark_managers:
+            self._shed(mq)
+            return
         self.mq = mq
-        manager = self.server._manager_of(mq)
         self.manager = manager
         # CPU cost of posting the one-sided RDMA write (§5.1: <1us).
         self._acquire_calibrated(manager.engine.profile.post_cost,
                                  self._post_granted)
+
+    def _shed(self, mq):
+        """Graceful degradation: the accelerator behind *mq* is dark.
+
+        Server-mqueue requests get an immediate §5.1-style error
+        response through the normal egress path (the client sees
+        ``ERR_UNAVAILABLE`` and can retry) instead of parking on a ring
+        nobody drains; backend responses for a dark accelerator's
+        client mqueues are dropped.
+        """
+        server = self.server
+        msg = self.msg
+        self.msg = None
+        if mq.kind == SERVER and msg is not None:
+            server.shed += 1
+            server._on_accelerator_tx(mq, MQueueEntry(
+                payload=b"", size=0, error=ERR_UNAVAILABLE,
+                request_msg=msg))
+        else:
+            server.dropped += 1
+        self._arm()
 
     def _post_granted(self, _event):
         self._charge_calibrated(self._post_charged)
@@ -362,9 +394,13 @@ class LynxServer:
         self._next_client_port = 9000
         self._synack_waiters = {}
         self._pending_backend = {}
+        #: managers whose accelerator is dark (fault injection); their
+        #: traffic is shed with error responses instead of parked
+        self._dark_managers = set()
         self.requests = RateMeter(env, name="%s-reqs" % self.name)
         self.responses = RateMeter(env, name="%s-resps" % self.name)
         self.dropped = 0
+        self.shed = 0
         # Telemetry (DESIGN.md §4.9): the live meters double as the
         # registry instruments; drops are pulled at snapshot time.
         reg = telemetry.registry()
@@ -372,6 +408,7 @@ class LynxServer:
         reg.register(base + "rx.requests", self.requests)
         reg.register(base + "tx.responses", self.responses)
         reg.pull(base + "rx.drops", lambda: self.dropped)
+        reg.pull(base + "tx.shed_errors", lambda: self.shed)
         self._tx_op_pool = []
         # One ingress loop per worker core: admission is bounded by core
         # availability, and overload is shed at the NIC RX ring instead
@@ -457,6 +494,17 @@ class LynxServer:
             raise ConfigError("no binding on port %d" % port)
         return binding.requests, binding.responses
 
+    def set_accelerator_dark(self, manager, dark=True):
+        """Mark *manager*'s accelerator dead (or recovered).
+
+        While dark, requests dispatched to its mqueues are shed with
+        ``ERR_UNAVAILABLE`` error responses (see :meth:`_RxOp._shed`).
+        """
+        if dark:
+            self._dark_managers.add(manager)
+        else:
+            self._dark_managers.discard(manager)
+
     def _manager_of(self, mq):
         # Cached: this runs per dispatched message, and a linear scan of
         # managers × mqueues dominated dispatch at high queue counts.
@@ -487,6 +535,14 @@ class LynxServer:
                 raise NetworkError(
                     "server mqueue %s produced an entry with no originating "
                     "request" % mq.name)
+            if entry.error:
+                # §5.1 error status to the client: an error-kind reply
+                # resolves the client's waiter without counting as a
+                # served response (goodput and latency stay honest).
+                response = request.reply(b"", created_at=self.env.now,
+                                         size=0, kind="error")
+                response.meta["error"] = entry.error
+                return response
             return request.reply(entry.payload, created_at=self.env.now,
                                  size=entry.size)
         # Client mqueue: a fresh request to the static destination.

@@ -117,11 +117,14 @@ class Client:
         # Telemetry (DESIGN.md §4.9): the live recorder/meters double as
         # the registry instruments (the recorder snapshots as a
         # mergeable log-bucketed histogram; local samples stay exact).
+        #: request attempts re-sent after a timeout or error response
+        self.retries = 0
         reg = telemetry.registry()
         base = "net.client.%s." % ip
         reg.register(base + "latency", self.latency)
         reg.register(base + "responses", self.responses)
         reg.register(base + "sent", self.sent)
+        reg.pull(base + "retries", lambda: self.retries)
         self._waiters = {}
         self._next_port = 40000
         self._send_op_pool = []
@@ -163,31 +166,69 @@ class Client:
         self._waiters[("synack", conn.conn_id)] = waiter
         yield from self.send(syn)
         yield waiter
+        # The RX loop pops the synack entry on arrival; this defensive
+        # pop keeps the waiter table empty even if the entry was
+        # resolved some other way (dict ops consume no schedule slots).
+        self._waiters.pop(("synack", conn.conn_id), None)
         if not conn.established:
             raise NetworkError("TCP handshake failed to %s" % (dst,))
         return conn
 
-    def request(self, payload, dst, proto=UDP, conn=None, timeout=None):
+    def request(self, payload, dst, proto=UDP, conn=None, timeout=None,
+                retries=0, retry_backoff=None):
         """Generator: send one request and wait for its response.
 
-        Returns the response message, or None on timeout (UDP requests
-        may be dropped by a saturated server).
+        Returns the response message, or None when every attempt timed
+        out (UDP requests may be dropped by a saturated server).  The
+        response may be error-kind — e.g. the Lynx server shedding for
+        a dark accelerator — which callers treat as a failure.
+
+        With ``retries`` > 0 a failed attempt (timeout or error-kind
+        response) is re-sent up to that many extra times, after an
+        exponential backoff with ±50% jitter drawn from the simulation
+        RNG so runs stay reproducible.  The base delay is
+        ``retry_backoff`` (default: the timeout, else 1000us).
         """
-        src = conn.client if conn is not None else self._source_address()
-        msg = Message(src=src, dst=dst, payload=payload, proto=proto,
-                      created_at=self.env.now, conn=conn)
-        waiter = self.env.event()
-        self._waiters[msg.msg_id] = waiter
-        yield from self.send(msg)
-        if timeout is None:
-            response = yield waiter
-            return response
-        expiry = self.env.timeout(timeout)
-        result = yield self.env.any_of([waiter, expiry])
-        if waiter in result:
-            return result[waiter]
-        self._waiters.pop(msg.msg_id, None)
-        return None
+        env = self.env
+        attempt = 0
+        while True:
+            attempt += 1
+            src = conn.client if conn is not None else self._source_address()
+            msg = Message(src=src, dst=dst, payload=payload, proto=proto,
+                          created_at=env.now, conn=conn)
+            waiter = env.event()
+            self._waiters[msg.msg_id] = waiter
+            yield from self.send(msg)
+            if timeout is None:
+                response = yield waiter
+            else:
+                expiry = env.timeout(timeout)
+                result = yield env.any_of([waiter, expiry])
+                response = result[waiter] if waiter in result else None
+            # The RX loop pops the entry when a response arrives; this
+            # pop covers the timeout path and is defensive elsewhere, so
+            # the waiter table stays empty under mixed traffic.
+            self._waiters.pop(msg.msg_id, None)
+            failed = response is None or response.kind == "error"
+            if not failed:
+                if attempt > 1:
+                    # Lazily created: E01-E15 metric snapshots must not
+                    # grow a counter no fault run ever touched.
+                    telemetry.registry().counter(
+                        "faults.recovered.client_retry").inc()
+                return response
+            if attempt > retries:
+                return response
+            # A retry without a timeout can only be error-response
+            # driven; a lost request still parks forever, as before.
+            self.retries += 1
+            base = retry_backoff if retry_backoff is not None \
+                else (timeout if timeout else 1000.0)
+            delay = base * (2 ** (attempt - 1))
+            if self.rng is not None:
+                delay *= self.rng.uniform("client.retry.%s" % self.ip,
+                                          0.5, 1.5)
+            yield env.timeout(delay)
 
 
 class OpenLoopGenerator:
@@ -254,7 +295,7 @@ class ClosedLoopGenerator:
 
     def __init__(self, env, client, dst, concurrency, payload_fn, proto=UDP,
                  timeout=None, think_time=0.0, use_tcp_connections=False,
-                 name=None):
+                 retries=0, retry_backoff=None, name=None):
         self.env = env
         self.client = client
         self.dst = dst
@@ -264,10 +305,13 @@ class ClosedLoopGenerator:
         self.timeout = timeout
         self.think_time = think_time
         self.use_tcp_connections = use_tcp_connections or proto == TCP
+        self.retries = retries
+        self.retry_backoff = retry_backoff
         self.name = name or "closedloop->%s" % (dst,)
         self._stopped = False
         self.completed = 0
         self.timeouts = 0
+        self.errors = 0
         self.processes = [
             env.process(self._worker(i), name="%s-w%d" % (self.name, i))
             for i in range(concurrency)
@@ -287,9 +331,12 @@ class ClosedLoopGenerator:
             seq += 1
             response = yield from self.client.request(
                 payload, self.dst, proto=self.proto, conn=conn,
-                timeout=self.timeout)
+                timeout=self.timeout, retries=self.retries,
+                retry_backoff=self.retry_backoff)
             if response is None:
                 self.timeouts += 1
+            elif response.kind == "error":
+                self.errors += 1
             else:
                 self.completed += 1
             if self.think_time > 0:

@@ -17,6 +17,7 @@ paper real, without modelling retransmission.
 from itertools import count
 
 from ..errors import NetworkError
+from .. import telemetry
 from .packet import Message, TCP, UDP
 
 # Debug identity for connection repr, not a metric.
@@ -79,6 +80,11 @@ class NetworkStack:
         # snapshotting None keeps the disabled path branch-free.
         tracer = getattr(env, "tracer", None)
         self._tracer = tracer if tracer is not None and tracer.enabled else None
+        #: control segments discarded because nothing listens on the port
+        self.closed_port_drops = 0
+        telemetry.registry().pull(
+            "net.stack.%s.closed_port_drops" % self.name,
+            lambda: self.closed_port_drops)
 
     # -- ports ---------------------------------------------------------------
 
@@ -130,7 +136,12 @@ class NetworkStack:
         if msg.kind != "tcp-syn":
             return False
         if not self.is_listening(msg.dst.port):
-            return True  # silently dropped, like a closed port
+            # Dropped like a closed port — but counted, so scorecard
+            # drop accounting sees these losses.
+            self.closed_port_drops += 1
+            if self._tracer is not None:
+                self._tracer.emit(self.name, "closed-port-drop", msg.msg_id)
+            return True
         self.env.detached(self._accept(msg, nic))
         return True
 

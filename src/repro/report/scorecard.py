@@ -134,8 +134,24 @@ def summarize_metrics(metrics):
     kernel = metrics.get("sim.kernel.events_processed")
     if kernel is not None:
         rows.append(("kernel events processed", "%d" % kernel["value"]))
-    drops, n_drop = counter_sum((".drops", ".dropped"))
+    drops, n_drop = counter_sum(
+        (".drops", ".dropped", ".closed_port_drops", ".shed_errors"))
     rows.append(("drop counters (%d instruments)" % n_drop, "%d" % drops))
+    # Fault-injection campaign summary (DESIGN.md §4.10): only present
+    # when a schedule was armed, plus any client-side retry traffic.
+    for group, label in (("faults.injected.", "faults injected"),
+                         ("faults.dropped.", "faults: entries dropped"),
+                         ("faults.recovered.", "faults recovered")):
+        total, n = 0, 0
+        for name, snap in metrics.items():
+            if snap.get("kind") == "counter" and name.startswith(group):
+                total += snap.get("value", 0)
+                n += 1
+        if n:
+            rows.append(("%s (%d kinds)" % (label, n), "%d" % total))
+    retries, n_retry = counter_sum((".retries",))
+    if retries:
+        rows.append(("client retries (%d clients)" % n_retry, "%d" % retries))
     trace_drops = metrics.get("sim.trace.dropped")
     if trace_drops is not None and trace_drops.get("value"):
         rows.append(("tracer records dropped", "%d" % trace_drops["value"]))

@@ -94,6 +94,20 @@ class Store:
             return item
         return None
 
+    def purge_waiters(self):
+        """Withdraw every parked get and put (their events never fire).
+
+        Fault-recovery hook: when a consumer dies mid-wait (accelerator
+        crash), its parked ``StoreGet`` would otherwise silently swallow
+        the next item put after the restart, and a parked ``StorePut``
+        would inject a dead producer's item into the ring.  Returns
+        ``(getters, putters)`` counts; consumes no schedule slots.
+        """
+        getters, putters = len(self._getters), len(self._putters)
+        self._getters.clear()
+        self._putters.clear()
+        return getters, putters
+
     # -- internals ----------------------------------------------------------
 
     def _push_item(self, item):

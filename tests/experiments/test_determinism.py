@@ -44,3 +44,19 @@ class TestGoldenRows:
         first = _rows(e01_invocation_overhead)
         second = _rows(e01_invocation_overhead)
         assert first == second == golden["E01"]
+
+
+class TestUnarmedFaultLayer:
+    """PR 5's zero-overhead guarantee: with the fault-injection layer
+    importable (it always is — E16 pulls it in) but no schedule armed,
+    the golden rows captured before the layer existed still match."""
+
+    def test_e01_golden_with_fault_layer_loaded(self, golden):
+        import repro.faults  # noqa: F401 — presence is the point
+
+        assert _rows(e01_invocation_overhead) == golden["E01"]
+
+    def test_e15_golden_with_fault_layer_loaded(self, golden):
+        import repro.faults  # noqa: F401
+
+        assert _rows(e15_consistency_barrier) == golden["E15"]

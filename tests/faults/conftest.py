@@ -1,0 +1,14 @@
+"""Every fault test runs in its own telemetry scope: the injector's
+``faults.*`` counters are get-or-create by name, so without isolation
+one test's increments would bleed into the next test's assertions."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics_scope():
+    telemetry.push_scope()
+    yield
+    telemetry.pop_scope()

@@ -1,0 +1,164 @@
+"""End-to-end failure recovery: accelerator outages, shedding, retries.
+
+The recovery contract under test (DESIGN.md §4.10): when the
+accelerator goes dark, Lynx keeps the data plane responsive by shedding
+requests with ``ERR_UNAVAILABLE`` error responses; clients retry with
+backoff and recover once the kernel restarts; a crash restart drains
+the mqueue rings so the revived kernel starts from clean state."""
+
+import pytest
+
+from repro import telemetry
+from repro.apps.base import SpinApp
+from repro.errors import AcceleratorError
+from repro.experiments.common import HOST_CENTRIC, LYNX_BLUEFIELD, deploy
+from repro.faults import AcceleratorOutage, FaultInjector, FaultSchedule
+from repro.lynx.mqueue import MQueue, MQueueEntry
+from repro.net import ClosedLoopGenerator
+from repro.net.packet import UDP
+from repro.sim import Environment
+
+
+def _deploy(design=LYNX_BLUEFIELD, kernel_us=20.0, n_mqueues=2):
+    return deploy(design, app=SpinApp(kernel_us), n_mqueues=n_mqueues,
+                  proto=UDP)
+
+
+def _gen(dep, concurrency=2, timeout=None, retries=0, retry_backoff=None):
+    client = dep.tb.client("10.0.9.1")
+    return client, ClosedLoopGenerator(
+        dep.env, client, dep.address, concurrency,
+        payload_fn=lambda i: b"ping", proto=UDP, timeout=timeout,
+        retries=retries, retry_backoff=retry_backoff)
+
+
+class TestLynxCrashRecovery:
+    def test_dark_accelerator_sheds_then_recovers(self):
+        dep = _deploy()
+        injector = FaultInjector(FaultSchedule([
+            AcceleratorOutage(start=3000, duration=2000, mode="crash"),
+        ])).arm(dep)
+        client, gen = _gen(dep, timeout=1000)
+        env = dep.env
+        env.run(until=3000)
+        before = gen.completed
+        assert before > 0
+        env.run(until=4900)
+        # The server stayed responsive: requests were answered with
+        # error responses (not parked, not silently dropped).
+        assert dep.server.shed > 0
+        assert gen.errors > 0
+        assert gen.completed <= before + 4
+        env.run(until=9000)
+        assert gen.completed > before + 10          # kernel restarted
+        assert injector.counts("recovered")["accel_restart"] == 1
+        # Threadblocks were respawned and are live again.
+        assert any(tb.is_alive for tb in dep.service.threadblocks)
+
+    def test_error_responses_resolve_waiters_without_polluting_latency(self):
+        dep = _deploy()
+        FaultInjector(FaultSchedule([
+            AcceleratorOutage(start=3000, duration=2000, mode="crash"),
+        ])).arm(dep)
+        client, gen = _gen(dep, timeout=1000)
+        dep.env.run(until=9000)
+        gen.stop()
+        dep.env.run(until=11000)        # quiesce the in-flight requests
+        # Shed responses resolved the client's waiters (no leak) and
+        # goodput accounting excludes them.
+        assert client._waiters == {}
+        assert client.latency.count == client.responses.count == \
+            gen.completed
+
+    def test_retries_with_backoff_recover_shed_requests(self):
+        with telemetry.scope() as reg:
+            dep = _deploy()
+            FaultInjector(FaultSchedule([
+                AcceleratorOutage(start=3000, duration=1500, mode="crash"),
+            ])).arm(dep)
+            client, gen = _gen(dep, timeout=1500, retries=3,
+                               retry_backoff=400.0)
+            dep.env.run(until=12000)
+            recovered = reg.get("faults.recovered.client_retry")
+        assert client.retries > 0
+        assert gen.errors == 0          # every shed request was retried
+        assert recovered is not None and recovered.value > 0
+
+    def test_hang_mode_restarts_without_draining(self):
+        dep = _deploy()
+        injector = FaultInjector(FaultSchedule([
+            AcceleratorOutage(start=3000, duration=1500, mode="hang"),
+        ])).arm(dep)
+        client, gen = _gen(dep, timeout=1000)
+        dep.env.run(until=9000)
+        assert "accel_restart" not in injector.counts("dropped")
+        assert injector.counts("recovered")["accel_restart"] == 1
+        assert gen.completed > 0
+        assert any(tb.is_alive for tb in dep.service.threadblocks)
+
+    def test_two_outages_back_to_back(self):
+        dep = _deploy()
+        injector = FaultInjector(FaultSchedule([
+            AcceleratorOutage(start=2000, duration=1000, mode="crash"),
+            AcceleratorOutage(start=5000, duration=1000, mode="crash"),
+        ])).arm(dep)
+        client, gen = _gen(dep, timeout=800)
+        dep.env.run(until=3500)
+        first = gen.completed
+        dep.env.run(until=10000)
+        assert injector.counts("recovered")["accel_restart"] == 2
+        assert gen.completed > first    # survived both restarts
+
+
+class TestHostCentricOutage:
+    def test_outage_queues_instead_of_shedding(self):
+        dep = _deploy(design=HOST_CENTRIC)
+        FaultInjector(FaultSchedule([
+            AcceleratorOutage(start=3000, duration=2000, mode="crash"),
+        ])).arm(dep)
+        client, gen = _gen(dep, timeout=None)
+        env = dep.env
+        env.run(until=3100)
+        before = gen.completed
+        assert before > 0
+        env.run(until=4900)
+        # No shed path on the baseline: requests wait for SM slots.
+        assert gen.errors == 0
+        assert gen.completed <= before + 4
+        env.run(until=9000)
+        assert gen.completed > before + 10
+
+
+class TestServiceRestart:
+    def test_restart_without_respawn_hook_raises(self):
+        from repro.lynx.runtime import GpuService
+
+        service = GpuService(gpu=None, manager=None, mqueues=[],
+                             contexts=[], threadblocks=[])
+        with pytest.raises(AcceleratorError, match="respawn"):
+            service.restart()
+
+    def test_interrupt_returns_killed_count_and_purges_ring_waiters(self):
+        dep = _deploy(n_mqueues=2)
+        service = dep.service
+        alive = sum(1 for tb in service.threadblocks if tb.is_alive)
+        assert alive > 0
+        killed = service.interrupt("test")
+        assert killed == alive
+        dep.env.run(until=dep.env.now + 1)   # let the kills process
+        assert not any(tb.is_alive for tb in service.threadblocks)
+        for mq in service.mqueues:
+            assert not mq.rx_ring._getters and not mq.rx_ring._putters
+
+    def test_mqueue_drain_counts_both_rings(self):
+        env = Environment()
+        mq = MQueue(env, memory=None, entries=4)
+        assert mq.claim_rx_slot()
+        mq.complete_rx(MQueueEntry(b"req", 3))
+        mq.push_tx(MQueueEntry(b"resp", 4))
+        dropped_before = mq.dropped
+        assert mq.drain() == 2
+        assert mq.dropped == dropped_before + 2
+        assert len(mq.rx_ring) == 0 and len(mq.tx_ring) == 0
+        # The drained RX entry released its credit: a new claim succeeds.
+        assert mq.claim_rx_slot()

@@ -78,6 +78,83 @@ class TestBackendTimeout:
         assert app.errors == [ERR_TIMEOUT]
 
 
+class _TimingBackendApp(ServerApp):
+    """Records how long each backend call blocked and its error code."""
+
+    name = "timing-backend"
+
+    def __init__(self, env):
+        self.env = env
+        self.calls = []
+
+    def handle(self, ctx, entry):
+        t0 = self.env.now
+        reply = yield from ctx.call("db", entry.payload)
+        self.calls.append((reply.error, self.env.now - t0))
+        return b"ERR" if reply.error else bytes(reply.payload)
+
+
+class TestBackendTimeoutDeadline:
+    """The error entry is *deadline-timed*: iolib surfaces ERR_TIMEOUT
+    at the configured backend_timeout rather than blocking forever or
+    failing early."""
+
+    DEADLINE = 2000.0
+
+    def _deploy_timing_app(self):
+        from dataclasses import replace
+
+        config = DEFAULT_CONFIG.with_(
+            lynx=replace(DEFAULT_CONFIG.lynx,
+                         backend_timeout=self.DEADLINE))
+        tb = Testbed(config=config)
+        env = tb.env
+        host = tb.machine("10.0.0.1")
+        gpu = host.add_gpu()
+        snic = tb.bluefield("10.0.0.100")
+        runtime, server = tb.lynx_on_bluefield(snic)
+        app = _TimingBackendApp(env)
+        env.process(runtime.start_gpu_service(
+            gpu, app, port=8000, n_mqueues=1,
+            backends={"db": (Address("10.9.9.9", 11211), UDP)}))
+        return tb, env, app
+
+    def test_error_entry_lands_at_the_deadline(self):
+        tb, env, app = self._deploy_timing_app()
+        env.run(until=5000)
+        client = tb.client("10.0.1.1")
+
+        def one(env):
+            yield from client.request(b"ping", Address("10.0.0.100", 8000),
+                                      proto=UDP)
+
+        env.process(one(env))
+        env.run(until=20000)
+        assert app.calls, "handler never unblocked"
+        error, span = app.calls[0]
+        assert error == ERR_TIMEOUT
+        # The handler waited the configured deadline — not less (no
+        # early failure) and not unboundedly more (no hang); the slack
+        # covers watchdog scheduling and ring hops.
+        assert span >= self.DEADLINE
+        assert span <= self.DEADLINE + 200.0
+
+    def test_handler_keeps_serving_after_timeout_errors(self):
+        tb, env, app = self._deploy_timing_app()
+        env.run(until=5000)
+        client = tb.client("10.0.1.1")
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.100", 8000),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=30000)
+        env.run(until=40000)
+        # Several requests cycled through: the error path resolves each
+        # call instead of wedging the threadblock after the first.
+        assert len(app.calls) >= 3
+        assert all(err == ERR_TIMEOUT for err, _ in app.calls)
+        assert gen.completed + gen.errors >= 3
+
+
 class TestConnectionError:
     def test_unestablished_tcp_backend_flagged(self):
         tb, env, app, server, proc = _deploy_with_backend("10.9.9.9")

@@ -12,7 +12,7 @@ from repro.net import (
     Network,
     OpenLoopGenerator,
 )
-from repro.net.packet import UDP
+from repro.net.packet import TCP, UDP
 from repro.net.stack import NetworkStack
 from repro.sim import Environment, RngRegistry
 
@@ -104,6 +104,161 @@ class TestOpenLoop:
         env.run(until=500)
         # send_cost elapses in-path; recv_cost is accounted in.
         assert client.latency.min() >= 2.0 + 3.0
+
+
+class _FlakyEchoServer(_EchoServer):
+    """Echo server that fails requests until *heal_at*: drops them
+    (``fail="drop"``) or answers with an error-kind reply."""
+
+    def __init__(self, env, network, ip, port, heal_at, fail="drop",
+                 delay=5.0):
+        self.heal_at = heal_at
+        self.fail = fail
+        super().__init__(env, network, ip, port, delay=delay)
+
+    def _loop(self):
+        while True:
+            msg = yield self.nic.recv()
+            if self.stack.handle_control(msg, self.nic):
+                continue
+            yield self.env.timeout(self.delay)
+            if self.env.now < self.heal_at:
+                if self.fail == "drop":
+                    continue
+                yield from self.nic.send(
+                    msg.reply(b"", created_at=self.env.now, size=0,
+                              kind="error"))
+                continue
+            yield from self.nic.send(
+                msg.reply(msg.payload, created_at=self.env.now))
+
+
+class TestWaiterHygiene:
+    """Regression for the _waiters leaks: every request path — success
+    with and without a timeout, timed-out, error-response, and the TCP
+    handshake — must leave the waiter table empty once quiesced."""
+
+    def _assert_clean_after(self, env, network, server_kw, gen_kw,
+                            until=4000):
+        _EchoServer(env, network, "10.0.0.1", 7777, **server_kw)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                  concurrency=2,
+                                  payload_fn=lambda i: b"ping", **gen_kw)
+        env.run(until=until)
+        gen.stop()
+        env.run(until=until + 2000)
+        assert gen.completed > 0
+        assert client._waiters == {}
+        return client, gen
+
+    def test_success_without_timeout(self, env, network):
+        self._assert_clean_after(env, network, {}, {"proto": UDP})
+
+    def test_success_with_timeout(self, env, network):
+        # The leak this PR fixes: a response beating its timeout used to
+        # leave the expired entry in _waiters forever.
+        client, gen = self._assert_clean_after(
+            env, network, {}, {"proto": UDP, "timeout": 1000})
+        assert gen.timeouts == 0
+
+    def test_tcp_handshake_entries_cleaned(self, env, network):
+        self._assert_clean_after(env, network, {}, {"proto": TCP})
+
+    def test_mixed_timeouts_and_successes(self, env, network):
+        # Server drops everything before t=1500: early requests time
+        # out, later ones succeed; both paths must clean up.
+        _FlakyEchoServer(env, network, "10.0.0.1", 7777, heal_at=1500)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                  concurrency=2,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=200)
+        env.run(until=4000)
+        gen.stop()
+        env.run(until=6000)
+        assert gen.timeouts > 0 and gen.completed > 0
+        assert client._waiters == {}
+
+
+class TestRetries:
+    def test_retries_recover_dropped_requests(self, env, network):
+        _FlakyEchoServer(env, network, "10.0.0.1", 7777, heal_at=300)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        results = []
+
+        def one(env):
+            response = yield from client.request(
+                b"ping", Address("10.0.0.1", 7777), proto=UDP,
+                timeout=150, retries=5, retry_backoff=100.0)
+            results.append(response)
+
+        env.process(one(env))
+        env.run(until=5000)
+        assert results and results[0] is not None
+        assert results[0].kind == "response"
+        assert client.retries > 0
+
+    def test_error_responses_trigger_retry(self, env, network):
+        _FlakyEchoServer(env, network, "10.0.0.1", 7777, heal_at=300,
+                         fail="error")
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.0.0.1", 7777),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=500, retries=4,
+                                  retry_backoff=100.0)
+        env.run(until=4000)
+        assert client.retries > 0
+        assert gen.errors == 0          # retries absorbed every error
+        assert gen.completed > 0
+
+    def test_exhausted_retries_surface_the_failure(self, env, network):
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        gen = ClosedLoopGenerator(env, client, Address("10.9.9.9", 7777),
+                                  concurrency=1,
+                                  payload_fn=lambda i: b"ping", proto=UDP,
+                                  timeout=50, retries=2, retry_backoff=50.0)
+        env.run(until=2000)
+        assert gen.timeouts > 0
+        assert client.retries >= 2 * gen.timeouts
+        assert client._waiters == {}
+
+    def test_zero_retries_is_event_identical_to_before(self, env, network):
+        # retries=0 must consume the exact schedule slots of the old
+        # single-shot path: pin via the kernel's event-id sequence.
+        def run_once(retries_kw):
+            env2 = Environment()
+            net2 = Network(env2)
+            _EchoServer(env2, net2, "10.0.0.1", 7777)
+            client = Client(env2, net2, "10.0.1.1", rng=RngRegistry(0))
+            gen = ClosedLoopGenerator(env2, client,
+                                      Address("10.0.0.1", 7777),
+                                      concurrency=2,
+                                      payload_fn=lambda i: b"ping",
+                                      proto=UDP, timeout=500, **retries_kw)
+            env2.run(until=3000)
+            return env2._eid, tuple(client.latency._samples), gen.completed
+
+        assert run_once({}) == run_once({"retries": 0})
+
+    def test_retry_backoff_is_seeded_deterministic(self, env, network):
+        def run_once():
+            env2 = Environment()
+            net2 = Network(env2)
+            _FlakyEchoServer(env2, net2, "10.0.0.1", 7777, heal_at=800)
+            client = Client(env2, net2, "10.0.1.1", rng=RngRegistry(9))
+            gen = ClosedLoopGenerator(env2, client,
+                                      Address("10.0.0.1", 7777),
+                                      concurrency=2,
+                                      payload_fn=lambda i: b"ping",
+                                      proto=UDP, timeout=150, retries=4,
+                                      retry_backoff=120.0)
+            env2.run(until=4000)
+            return (env2._eid, client.retries,
+                    tuple(client.latency._samples))
+
+        assert run_once() == run_once()
 
 
 class TestClientEdgeCases:

@@ -102,3 +102,41 @@ class TestControlHandling:
 
     def test_non_control_messages_ignored(self, stack):
         assert not stack.handle_control(_msg(), nic=None)
+
+    def test_closed_port_syn_dropped_and_counted(self, env, stack):
+        # A SYN for a port nobody listens on is consumed (True) but
+        # dropped — and the loss is visible, not silent.
+        conn = TcpConnection(client=Address("10.0.0.9", 1111),
+                             server=Address("10.0.0.1", 9999))
+        syn = Message(Address("10.0.0.9", 1111), Address("10.0.0.1", 9999),
+                      b"", proto=TCP, conn=conn, kind="tcp-syn")
+        syn.meta["conn"] = conn
+        assert stack.handle_control(syn, nic=None)
+        assert stack.closed_port_drops == 1
+        assert not conn.established
+        # The counter is in the telemetry registry for the scorecard.
+        from repro import telemetry
+
+        snap = telemetry.registry().snapshot(
+            "net.stack.%s.closed_port_drops" % stack.name)
+        assert snap["net.stack.%s.closed_port_drops" % stack.name][
+            "value"] == 1
+
+    def test_open_port_syn_not_counted_as_drop(self, env):
+        from repro.hw.nic import Nic
+        from repro.net import Network
+
+        network = Network(env)
+        nic = Nic(env, network, "10.0.0.1")
+        pool = CorePool(env, XEON_E5_2620, count=1)
+        stack = NetworkStack(env, pool, XEON_VMA, name="open-port-stack")
+        stack.listen(7777)
+        conn = TcpConnection(client=Address("10.0.0.9", 1111),
+                             server=Address("10.0.0.1", 7777))
+        syn = Message(Address("10.0.0.9", 1111), Address("10.0.0.1", 7777),
+                      b"", proto=TCP, conn=conn, kind="tcp-syn")
+        syn.meta["conn"] = conn
+        assert stack.handle_control(syn, nic=nic)
+        env.run(until=100)
+        assert stack.closed_port_drops == 0
+        assert conn.established
