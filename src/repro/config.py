@@ -402,6 +402,12 @@ class SimConfig:
     app: AppTimings = DEFAULT_APP_TIMINGS
     cache: CacheProfile = DEFAULT_CACHE
     trace: bool = False
+    #: scheduler backend for testbeds built from this config: "heap",
+    #: "wheel", or None to follow the process-wide selection
+    #: (``--sim-backend`` / ``$REPRO_SIM_BACKEND``; heap by default).
+    #: Both backends produce bit-identical fixed-seed results — the
+    #: wheel is the fast path, the heap the determinism oracle.
+    sim_backend: str = None
 
     def with_(self, **kwargs):
         """Return a copy with the given fields replaced."""

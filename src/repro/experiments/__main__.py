@@ -19,7 +19,9 @@ from . import ablations, breakdown, sweep
 from . import testbed as testbed_mod
 from .. import telemetry
 from ..config import DEFAULT_CONFIG
-from ..sim import kernel_totals, reset_kernel_totals
+from ..sim import active_backend, configure_backend, kernel_totals, \
+    reset_kernel_totals
+from ..sim.environment import BACKENDS
 from ..sim import trace as trace_mod
 from ..telemetry.export import format_kernel_stats
 
@@ -65,6 +67,14 @@ def main(argv=None):
                         help="fan sweep points across N worker processes "
                              "(default: $REPRO_JOBS or 1; results are "
                              "bit-identical to a serial run)")
+    parser.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                        metavar="{heap,wheel}",
+                        help="event-scheduler backend: 'heap' (binary "
+                             "heap, the default and determinism oracle) "
+                             "or 'wheel' (calendar queue + vectorized "
+                             "Channel landings; bit-identical rows, "
+                             "~2x kernel throughput).  Default: "
+                             "$REPRO_SIM_BACKEND or heap")
     parser.add_argument("--kernel-stats", action="store_true",
                         help="after the runs, print the simulator kernel's "
                              "own throughput counters (events processed, "
@@ -140,6 +150,8 @@ def main(argv=None):
     telemetry.push_scope()
     if args.kernel_stats:
         reset_kernel_totals()
+    if args.sim_backend is not None:
+        configure_backend(args.sim_backend)
 
     if overrides:
         testbed_mod.set_active_config(DEFAULT_CONFIG.with_(**overrides))
@@ -171,12 +183,16 @@ def main(argv=None):
         if args.metrics is not None:
             snap = telemetry.snapshot()
             if args.metrics == "-":
-                print(telemetry.format_snapshot(snap, title="telemetry"))
+                print(telemetry.format_snapshot(
+                    snap, title="telemetry [sim-backend=%s]" % active_backend()))
             else:
-                telemetry.dump_metrics(snap, args.metrics)
+                telemetry.dump_metrics(snap, args.metrics,
+                                       meta={"sim_backend": active_backend()})
                 print("metrics written to %s" % args.metrics)
     finally:
         sweep.configure(None)
+        if args.sim_backend is not None:
+            configure_backend(None)
         if overrides:
             testbed_mod.set_active_config(None)
         trace_mod.clear_enabled_tracers()

@@ -15,6 +15,11 @@ The worker count comes from, in priority order: the ``jobs=`` argument,
 :func:`configure` (installed by the CLI's ``--jobs`` or the benchmark
 suite's ``--jobs`` pytest option), and the ``REPRO_JOBS`` environment
 variable.  The default is 1, so existing callers are untouched.
+:func:`run_points` additionally clamps the request to
+:func:`usable_cores` — forking four workers on a one-core runner is a
+pure pessimization (observed 0.87x "speedup"), so a clamp to 1 runs
+inline and never forks a pool.  Clamping changes only wall-clock,
+never values: results are bit-identical at any worker count.
 
 Telemetry (DESIGN.md §4.9): every point — inline or in a worker — runs
 inside its own registry scope; when it finishes, its full snapshot is
@@ -46,6 +51,7 @@ import os
 
 from ..errors import ConfigError
 from .. import telemetry
+from ..sim import environment as env_mod
 from ..sim import trace as trace_mod
 from . import testbed as testbed_mod
 
@@ -77,6 +83,19 @@ def active_jobs():
         except ValueError:
             pass
     return 1
+
+
+def usable_cores():
+    """CPU cores actually available to this process.
+
+    Prefers the scheduler affinity mask (cgroup/taskset-aware — CI
+    runners often expose fewer cores than ``os.cpu_count`` reports) and
+    falls back to the raw core count.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def derive_seed(root_seed, key):
@@ -127,16 +146,21 @@ class Point:
 def run_points(points, jobs=None):
     """Run every point; returns their values in declaration order.
 
-    ``jobs=None`` uses :func:`active_jobs`.  With one job (or one
-    point) the points run inline in this process; otherwise they fan
-    out over a worker pool and the results are reassembled in order,
-    so callers cannot observe the difference beyond wall-clock.
+    ``jobs=None`` uses :func:`active_jobs`.  The request is clamped to
+    :func:`usable_cores` — extra workers beyond the hardware only add
+    fork/pickle overhead.  With one (possibly clamped) job or one
+    point the points run inline in this process and no pool is forked;
+    otherwise they fan out over a worker pool and the results are
+    reassembled in order, so callers cannot observe the difference
+    beyond wall-clock.
     """
     points = list(points)
     if jobs is None:
         jobs = active_jobs()
     if jobs < 1:
         raise ConfigError("jobs must be >= 1, got %r" % (jobs,))
+    if jobs > 1:
+        jobs = min(jobs, usable_cores())
     if jobs == 1 or len(points) <= 1:
         return [_run_point_scoped(point) for point in points]
     return _run_pool(points, min(jobs, len(points)))
@@ -165,11 +189,15 @@ def _run_pool(points, jobs):
         ctx = multiprocessing.get_context("spawn")
     config = testbed_mod.active_config()
     pool = ctx.Pool(processes=jobs, initializer=_worker_init,
-                    initargs=(config,))
+                    initargs=(config, env_mod.active_backend()))
     try:
         # map() preserves input order, which is what makes parallel
-        # output indistinguishable from serial output.
-        outs = pool.map(_run_point_task, points)
+        # output indistinguishable from serial output.  Chunked
+        # scheduling amortizes the per-task pickling/IPC round-trip;
+        # four chunks per worker keeps the tail balanced when point
+        # costs vary across the grid.
+        chunksize = max(1, len(points) // (jobs * 4))
+        outs = pool.map(_run_point_task, points, chunksize)
     finally:
         pool.close()
         pool.join()
@@ -182,12 +210,13 @@ def _run_pool(points, jobs):
     return values
 
 
-def _worker_init(config):
+def _worker_init(config, sim_backend):
     """Pool initializer: scrub inherited state, apply the parent's
-    active-config override (a no-op under ``spawn``, where *config*
-    arriving pickled is the only way workers learn about it)."""
+    active-config override and scheduler backend (no-ops under
+    ``fork``, the only way workers learn about them under ``spawn``)."""
     _reset_worker_state()
     testbed_mod.set_active_config(config)
+    env_mod.configure_backend(sim_backend)
 
 
 def _reset_worker_state():

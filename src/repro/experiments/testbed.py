@@ -20,7 +20,7 @@ from ..errors import ConfigError
 from ..hw import BluefieldSNIC, InnovaSNIC, IntelVCA, Machine
 from ..lynx import LynxRuntime, LynxServer
 from ..net import Client, Network
-from ..sim import Environment, RngRegistry, Tracer
+from ..sim import RngRegistry, Tracer, make_environment
 
 
 #: process-wide config override installed by the CLI (see
@@ -53,7 +53,9 @@ class Testbed:
         self.config = config or _active_config or DEFAULT_CONFIG
         if seed is not None:
             self.config = self.config.with_(seed=seed)
-        self.env = Environment()
+        #: kernel backend: per-config override, else the process-wide
+        #: selection (--sim-backend / $REPRO_SIM_BACKEND / heap)
+        self.env = make_environment(backend=self.config.sim_backend)
         #: event tracer (enabled via SimConfig.trace) — installed on the
         #: environment *before* any Channel exists, so every hop built
         #: by this testbed picks it up at construction time

@@ -77,6 +77,22 @@ class Channel(Store):
         self.issue = (Resource(env, 1, name="%s-issue" % self.name)
                       if serialized else None)
         self._sink = sink if sink is not None else self
+        #: the environment's landing table (wheel backend; None on the
+        #: heap) — cached here so _push_staged() skips an attribute hop
+        self._landing = env._landing
+        # Adaptive staging (wheel backend): channels whose batches never
+        # coalesce pay the table's bookkeeping for nothing, so after
+        # enough consecutive single-message batches with no burst ever
+        # seen, push falls back to the defer route.  The route choice
+        # is observably identical either way (same sequence numbers,
+        # same delivery order), so the heuristic cannot perturb results.
+        self._stage_off = False
+        self._stage_bursts = False
+        self._solo_batches = 0
+        if self._landing is not None:
+            # Instance-level rebind: heap channels keep the class-level
+            # push() untouched (no wheel bookkeeping on that hot path).
+            self.push = self._push_staged
         #: items pushed but not yet landed; FIFO matches fire order
         #: because every push on one channel defers the same latency
         self._in_flight = deque()
@@ -146,11 +162,34 @@ class Channel(Store):
 
         Drop-tail on a full sink (the receiver counts nothing; the
         channel's ``dropped`` statistic does).
+
+        On the wheel backend ``__init__`` rebinds ``push`` to
+        :meth:`_push_staged`, which replaces the per-message ``defer``
+        with a row in the environment's struct-of-arrays landing table
+        (DESIGN.md §4.11).  Keeping the route choice out of this body
+        leaves the heap backend's hot path free of wheel bookkeeping.
         """
         self.sent += 1
         self.bytes_moved += nbytes
         self._in_flight.append(item)
         self.env.defer(self.latency, self._land)
+
+    def _push_staged(self, item, nbytes=0):
+        """Wheel-backend ``push``: stage a landing-table row.
+
+        Coalesces homogeneous bursts into vectorized deliveries with
+        bit-identical observable order.  ``_stage_off`` is the adaptive
+        bypass for channels whose batches never coalesce (set by the
+        landing table itself); the defer route it falls back to is
+        observably identical.
+        """
+        self.sent += 1
+        self.bytes_moved += nbytes
+        self._in_flight.append(item)
+        if self._stage_off:
+            self.env.defer(self.latency, self._land)
+        else:
+            self._landing.stage(self, item, nbytes)
 
     def _land(self, _event):
         item = self._in_flight.popleft()
@@ -237,7 +276,23 @@ class Channel(Store):
     # -- batch dequeue -----------------------------------------------------
 
     def recv_batch(self, max_items=0):
-        """Drain up to *max_items* immediately-available items (0 = all)."""
+        """Drain up to *max_items* immediately-available items (0 = all).
+
+        Bulk fast path: with no parked putters and no tracer,
+        ``try_get`` reduces to one ``popleft`` — no events, no counters
+        — so the whole drain is a single list copy.  The per-item loop
+        remains for traced channels (per-item ``deq`` records) and for
+        bounded channels with parked putters (each pop admits one).
+        """
+        items = self._items
+        if items and not self._putters and self._tracer is None:
+            if max_items <= 0 or max_items >= len(items):
+                out = list(items)
+                items.clear()
+            else:
+                popleft = items.popleft
+                out = [popleft() for _ in range(max_items)]
+            return out
         out = []
         try_get = self.try_get
         while max_items <= 0 or len(out) < max_items:

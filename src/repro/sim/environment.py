@@ -24,6 +24,7 @@ unchanged for a fixed seed.
 
 import gc
 import heapq
+import os
 from heapq import heappush
 from time import perf_counter
 
@@ -46,6 +47,57 @@ _TOTAL_KEYS = (
 
 _PREFIX = "sim.kernel."
 
+#: Scheduler backends selectable via :func:`make_environment` /
+#: ``--sim-backend`` / ``$REPRO_SIM_BACKEND``.  ``heap`` is the classic
+#: binary-heap schedule; ``wheel`` is the calendar-queue backend
+#: (:class:`~repro.sim.wheel.WheelEnvironment`) with identical event
+#: ordering (see DESIGN.md §4.11).
+BACKENDS = ("heap", "wheel")
+
+#: backend installed by :func:`configure_backend` (the CLI hook);
+#: ``None`` defers to ``$REPRO_SIM_BACKEND``, then the heap default.
+_configured_backend = None
+
+
+def configure_backend(backend):
+    """Install the process-wide scheduler backend (``None`` resets)."""
+    global _configured_backend
+    if backend is not None and backend not in BACKENDS:
+        raise SimulationError("unknown sim backend %r (choose from %s)"
+                              % (backend, "/".join(BACKENDS)))
+    _configured_backend = backend
+
+
+def active_backend():
+    """The effective backend for environments built without an explicit
+    choice: :func:`configure_backend`, then ``$REPRO_SIM_BACKEND``, then
+    ``heap``.  An unknown env-var value falls back to ``heap`` rather
+    than crashing every import site."""
+    if _configured_backend is not None:
+        return _configured_backend
+    raw = os.environ.get("REPRO_SIM_BACKEND", "").strip().lower()
+    if raw in BACKENDS:
+        return raw
+    return "heap"
+
+
+def make_environment(initial_time=0.0, backend=None):
+    """Build an :class:`Environment` with the selected scheduler backend.
+
+    *backend* overrides the process-wide selection (see
+    :func:`active_backend`).  Testbeds construct their kernel through
+    this factory, so ``--sim-backend``/``$REPRO_SIM_BACKEND`` reach every
+    experiment; direct ``Environment()`` calls keep the heap.
+    """
+    name = backend if backend is not None else active_backend()
+    if name == "heap":
+        return Environment(initial_time)
+    if name == "wheel":
+        from .wheel import WheelEnvironment
+        return WheelEnvironment(initial_time)
+    raise SimulationError("unknown sim backend %r (choose from %s)"
+                          % (name, "/".join(BACKENDS)))
+
 
 def kernel_totals():
     """Kernel counters summed over every environment run in this scope.
@@ -66,6 +118,7 @@ def kernel_totals():
     totals["heap_peak"] = peak.value if peak is not None else 0
     wall = totals["wall_seconds"]
     totals["events_per_sec"] = totals["events_processed"] / wall if wall > 0 else 0.0
+    totals["backend"] = active_backend()
     return totals
 
 
@@ -103,9 +156,21 @@ class Environment:
 
     POOL_CAP = _POOL_CAP
 
+    #: scheduler backend name (subclasses override; see make_environment)
+    backend = "heap"
+
     def __init__(self, initial_time=0.0):
         self.now = float(initial_time)
+        # The shared trigger sites (Event.succeed, Store completions,
+        # Resource grants) heappush ``(time, priority, eid, event)``
+        # entries straight onto ``_queue``.  The wheel backend aliases
+        # ``_queue`` to its live heap — trigger sites always push at
+        # ``now``, which is exactly the live heap's domain — so those
+        # hot paths stay byte-identical across backends.
         self._queue = []
+        #: vectorized Channel landing table (wheel backend only; see
+        #: repro.sim.landing) — ``None`` keeps Channel.push on defer()
+        self._landing = None
         self._eid = 0
         self._active_process = None
         self._charge_pool = []
@@ -384,6 +449,7 @@ class Environment:
         """
         wall = self.wall_seconds
         return {
+            "backend": self.backend,
             "events_processed": self.events_processed,
             "processes_spawned": self.processes_spawned,
             "tasks_spawned": self.tasks_spawned,

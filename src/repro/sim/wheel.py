@@ -1,0 +1,440 @@
+"""Calendar-queue scheduler backend (DESIGN.md §4.11).
+
+:class:`WheelEnvironment` replaces the binary heap behind
+:class:`~repro.sim.environment.Environment` with a bucketed timing
+wheel: O(1) amortized insert for the near-future-dominated event mix
+the Channel/Charge data planes produce, against the heap's O(log n).
+Two further hot-path changes ride on the new queue layout:
+
+* **bare-callback entries** — ``defer()`` and ``_kick()`` (the two
+  primitives behind Channel landings, RMQ sweeps, fault windows and
+  process/task kicks) schedule a 5-tuple ``(when, prio, eid, None, fn)``
+  instead of allocating/recycling a pooled :class:`Charge`.  The run
+  loop dispatches them by calling ``fn(tick)`` with a shared immutable
+  tick event, skipping the callback-list walk and the pool bookkeeping
+  entirely.  ``charge()``/``timeout()``/``schedule()`` still produce
+  real events (generators must yield them).
+* **vectorized Channel landings** — the environment owns a
+  :class:`~repro.sim.landing.LandingTable` (numpy struct-of-arrays);
+  ``Channel.push`` stages messages there and homogeneous bursts are
+  delivered through one coalesced flush entry (see landing.py).
+
+Tie-break contract: entries are tuples ordered by ``(time, priority,
+eid)`` exactly like the heap's, and the eid sequence is shared with the
+heap backend (every primitive consumes the same number of sequence
+numbers), so the dispatch sequence reproduces the heap backend's pop
+order *exactly*.  Mixed 4/5-tuples compare safely because eids are
+unique: comparison never reaches element 3.
+
+Queue layout — a timing wheel feeding a two-queue dispatch core:
+
+* ``NBUCKETS`` (power of two) bucket lists indexed by the absolute
+  bucket number ``int(when / WIDTH) & mask``.  A heap of occupied
+  absolute indices finds the next non-empty bucket without scanning;
+  entries beyond the window (``cursor + NBUCKETS``) sit in an overflow
+  heap and migrate into buckets as the cursor approaches.
+* the **drain** — the current bucket's entries, sorted once at the
+  advance and consumed by index.  Nothing is ever inserted into it, so
+  popping is one list index, not a heap sift.
+* the **live heap** — a small persistent binary heap taking every
+  insert at or before the cursor: event triggers at ``now`` (the
+  environment's ``_queue`` is aliased to it, so the shared trigger
+  sites' direct ``heappush`` lands here), kicks, zero-delay defers,
+  sub-WIDTH charges.  Its occupancy is a handful of entries, so its C
+  push/pop cost is a few tuple compares, against the full-schedule
+  sift the heap backend pays.
+
+The run loop dispatches whichever head — ``drain[pos]`` or ``live[0]``
+— compares smaller; both hold times strictly earlier than any bucketed
+entry, so the merge is globally ordered.
+
+The wheel requires a non-negative clock; ``make_environment`` keeps the
+heap as the default and as the determinism oracle (the cross-backend
+stress tests replay identical workloads on both and compare dispatch
+sequences).
+"""
+
+import gc
+from heapq import heappush, heappop
+from time import perf_counter
+
+from ..errors import SimulationError
+from .environment import Environment, EmptySchedule, _POOL_CAP, _StopSimulation
+from .events import Charge, Event, NORMAL, URGENT
+from .landing import LandingTable, numpy_available
+
+
+class _Tick:
+    """Shared dummy event handed to bare-callback entries.
+
+    Every ``defer``/``_kick`` consumer either ignores its event argument
+    or reads only ``_ok``/``_value`` (Process._resume, Task._step), so a
+    single immutable successful-and-valueless event serves them all.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+    _defused = False
+    _pooled = False
+    callbacks = None
+
+
+class WheelEnvironment(Environment):
+    """Calendar-queue scheduler with heap-identical event ordering."""
+
+    backend = "wheel"
+
+    #: bucket count (power of two) and bucket width in simulated us.
+    #: 4096 x 1.0us covers a 4ms window — wider than every fixed
+    #: latency in the profiles — so steady-state traffic never touches
+    #: the overflow heap.
+    NBUCKETS = 4096
+    WIDTH = 1.0
+
+    def __init__(self, initial_time=0.0):
+        if initial_time < 0:
+            raise SimulationError(
+                "wheel backend requires a non-negative clock, got %r "
+                "(use the heap backend)" % (initial_time,))
+        super().__init__(initial_time)
+        n = self.NBUCKETS
+        self._buckets = [[] for _ in range(n)]
+        self._mask = n - 1
+        self._inv = 1.0 / self.WIDTH
+        self._occupied = []      # heap of occupied absolute bucket indices
+        self._overflow = []      # entry heap for times beyond the window
+        self._cursor = int(self.now * self._inv)
+        self._limit = self._cursor + n
+        self._drain = []         # sorted entries of the current bucket
+        self._drain_pos = 0      # dispatch position within the drain
+        self._live = []          # heap of inserts at/before the cursor
+        self._advances = 0       # bucket advances (occupancy sample clock)
+        # The shared trigger sites (Event.succeed, Store completions,
+        # Resource grants) heappush onto ``env._queue``.  Triggers
+        # always fire at ``now``, and ``now`` never exceeds the cursor
+        # bucket's horizon (future buckets hold strictly later times),
+        # so aliasing ``_queue`` to the live heap routes them correctly
+        # while the trigger sites stay byte-identical to the heap's.
+        self._queue = self._live
+        self._tick_event = _Tick()
+        self._landing = LandingTable(self) if numpy_available() else None
+
+    # -- queue --------------------------------------------------------------
+
+    def _insert(self, entry):
+        """Place a schedule entry in its bucket (the wheel's heappush).
+
+        Entries at or before the cursor bucket go onto the live heap,
+        where the run loop merges them with the drain head."""
+        scaled = entry[0] * self._inv
+        if scaled < self._limit:
+            idx = int(scaled)
+            if idx > self._cursor:
+                bucket = self._buckets[idx & self._mask]
+                if not bucket:
+                    heappush(self._occupied, idx)
+                bucket.append(entry)
+            else:
+                heappush(self._live, entry)
+        else:
+            heappush(self._overflow, entry)
+
+    def _refill(self):
+        """Advance to the next occupied bucket(s) and sort them into a
+        fresh drain; returns the drain, or None when the schedule is
+        empty.  Only called with the drain consumed and the live heap
+        empty, so the new drain's entries are globally next.
+
+        Queue occupancy for the ``heap_peak`` diagnostic is sampled
+        every 64th advance — walking the occupied list per advance
+        measurably slows sparse workloads (many advances, few events
+        each).
+        """
+        occupied = self._occupied
+        overflow = self._overflow
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv
+        n = self.NBUCKETS
+        if not occupied:
+            if not overflow:
+                return None
+            # Jump the window to the earliest overflow entry's bucket.
+            first = overflow[0][0] * inv
+            if first != float("inf"):
+                bound = int(first) + n
+                while overflow and overflow[0][0] * inv < bound:
+                    entry = heappop(overflow)
+                    a = int(entry[0] * inv)
+                    bucket = buckets[a & mask]
+                    if not bucket:
+                        heappush(occupied, a)
+                    bucket.append(entry)
+            if not occupied:
+                # Degenerate non-finite deadlines: drain them directly.
+                drain = sorted(overflow)
+                del overflow[:]
+                return drain
+        idx = heappop(occupied)
+        slot = idx & mask
+        drain = buckets[slot]
+        buckets[slot] = []
+        # Sparse-schedule amortization: merge runs of occupied buckets
+        # into one drain while it stays small, so workloads with a few
+        # events per bucket pay the advance machinery (cursor/limit
+        # update, overflow migration, sort, run-loop round trip) once
+        # per ~two dozen events instead of once per bucket.  Global
+        # order is unaffected: the cursor moves to the *last* merged
+        # bucket, so cursor-or-earlier inserts still land on the live
+        # heap and future buckets still hold strictly later times.
+        while occupied and len(drain) < 24:
+            idx = heappop(occupied)
+            slot = idx & mask
+            drain += buckets[slot]
+            buckets[slot] = []
+        self._cursor = idx
+        self._limit = limit = idx + n
+        while overflow and overflow[0][0] * inv < limit:
+            entry = heappop(overflow)
+            a = int(entry[0] * inv)
+            bucket = buckets[a & mask]
+            if not bucket:
+                heappush(occupied, a)
+            bucket.append(entry)
+        drain.sort()
+        adv = self._advances + 1
+        self._advances = adv
+        if not adv & 63:
+            occ = len(drain) + len(overflow) + len(self._live)
+            for a in occupied:
+                occ += len(buckets[a & mask])
+            if occ > self.heap_peak:
+                self.heap_peak = occ
+        return drain
+
+    def _pop_entry(self):
+        """Remove and return the earliest entry (slow path for step())."""
+        live = self._live
+        drain = self._drain
+        pos = self._drain_pos
+        if pos < len(drain):
+            if live and live[0] < drain[pos]:
+                return heappop(live)
+            self._drain_pos = pos + 1
+            return drain[pos]
+        if live:
+            return heappop(live)
+        drain = self._refill()
+        if drain is None:
+            return None
+        self._drain = drain
+        self._drain_pos = 1
+        return drain[0]
+
+    # -- event construction overrides ---------------------------------------
+
+    def charge(self, delay, value=None):
+        if delay < 0:
+            raise SimulationError("negative charge delay: %r" % delay)
+        pool = self._charge_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event.delay = delay
+            self.charges_reused += 1
+        else:
+            event = Charge(self, delay, value)
+            self.charges_created += 1
+        eid = self._eid
+        self._eid = eid + 1
+        when = self.now + delay
+        scaled = when * self._inv
+        if scaled < self._limit:
+            idx = int(scaled)
+            if idx > self._cursor:
+                bucket = self._buckets[idx & self._mask]
+                if not bucket:
+                    heappush(self._occupied, idx)
+                bucket.append((when, NORMAL, eid, event))
+            else:
+                heappush(self._live, (when, NORMAL, eid, event))
+        else:
+            heappush(self._overflow, (when, NORMAL, eid, event))
+        return event
+
+    def defer(self, delay, callback, priority=NORMAL):
+        """Bare-callback twin of the heap's defer(): one 5-tuple entry,
+        no Charge allocation or pool traffic.  Consumes one sequence
+        number and dispatches at the same (time, priority, eid) slot, so
+        ordering is identical; the callback receives the shared tick
+        event instead of a Charge (every defer consumer ignores it).
+
+        The bucket insert is inlined (vs calling :meth:`_insert`): defer
+        is the single hottest constructor on this backend — every
+        Channel landing flush, RMQ sweep and fault window goes through
+        it — and the extra frame costs ~8% of pure-churn throughput."""
+        if delay < 0:
+            raise SimulationError("negative defer delay: %r" % delay)
+        eid = self._eid
+        self._eid = eid + 1
+        when = self.now + delay
+        scaled = when * self._inv
+        if scaled < self._limit:
+            idx = int(scaled)
+            if idx > self._cursor:
+                bucket = self._buckets[idx & self._mask]
+                if not bucket:
+                    heappush(self._occupied, idx)
+                bucket.append((when, priority, eid, None, callback))
+            else:
+                heappush(self._live, (when, priority, eid, None, callback))
+        else:
+            heappush(self._overflow, (when, priority, eid, None, callback))
+
+    def _kick(self, callback):
+        # Kicks fire at ``now``, which never precedes the live/drain
+        # horizon — straight onto the live heap.
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._live, (self.now, URGENT, eid, None, callback))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event, delay=0.0, priority=NORMAL):
+        eid = self._eid
+        self._eid = eid + 1
+        self._insert((self.now + delay, priority, eid, event))
+
+    def peek(self):
+        heads = []
+        drain = self._drain
+        pos = self._drain_pos
+        if pos < len(drain):
+            heads.append(drain[pos][0])
+        if self._live:
+            heads.append(self._live[0][0])
+        if heads:
+            return min(heads)
+        if self._occupied:
+            return min(self._buckets[self._occupied[0] & self._mask])[0]
+        if self._overflow:
+            return self._overflow[0][0]
+        return float("inf")
+
+    def step(self):
+        entry = self._pop_entry()
+        if entry is None:
+            raise EmptySchedule()
+        self.now = entry[0]
+        event = entry[3]
+        if event is None:
+            entry[4](self._tick_event)
+            self.events_processed += 1
+            return
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+        if event._pooled:
+            callbacks.clear()
+            event.callbacks = callbacks
+            if len(self._charge_pool) < _POOL_CAP:
+                self._charge_pool.append(event)
+        elif not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until=None):
+        """Wheel twin of the heap run loop (same semantics, counters,
+        stop handling); see Environment.run for the contract.
+
+        Each iteration dispatches the smaller of the drain head (sorted
+        bucket, consumed by index) and the live-heap head (inserts made
+        during dispatch).  The drain is never mutated between refills,
+        so its length is cached and its pops are plain indexing."""
+        stop_event = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                horizon = float(until)
+                if horizon < self.now:
+                    raise SimulationError(
+                        "cannot run until %s: already at %s" % (horizon, self.now))
+                stop_event = self.event()
+                stop_event._ok = True
+                stop_event._value = None
+                self.schedule(stop_event, delay=horizon - self.now, priority=0)
+            stop_event.callbacks.append(_StopSimulation.throw_in)
+
+        charge_pool = self._charge_pool
+        tick = self._tick_event
+        live = self._live
+        nprocessed = 0
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        started = perf_counter()
+        drain = self._drain
+        dlen = len(drain)
+        pos = self._drain_pos
+        try:
+            while True:
+                if pos < dlen:
+                    entry = drain[pos]
+                    if live and live[0] < entry:
+                        entry = heappop(live)
+                    else:
+                        pos += 1
+                elif live:
+                    entry = heappop(live)
+                else:
+                    nxt = self._refill()
+                    if nxt is None:
+                        break
+                    drain = nxt
+                    self._drain = drain
+                    dlen = len(drain)
+                    pos = 0
+                    continue
+                event = entry[3]
+                self.now = entry[0]
+                if event is None:
+                    entry[4](tick)
+                    nprocessed += 1
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                # Counted after the callbacks, like the heap loop: a
+                # _StopSimulation raised mid-dispatch must not count
+                # the stop event itself.
+                nprocessed += 1
+                if event._pooled:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    charge_pool.append(event)
+                elif not event._ok and not event._defused:
+                    raise event._value
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "run() condition %r never fired; schedule is empty" % stop_event)
+            return None
+        except _StopSimulation as stop:
+            return stop.args[0]
+        finally:
+            self.wall_seconds += perf_counter() - started
+            if gc_was_enabled:
+                gc.enable()
+            del charge_pool[_POOL_CAP:]
+            self.events_processed += nprocessed
+            self._drain_pos = pos
+            self._flush_totals()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def kernel_stats(self):
+        stats = super().kernel_stats()
+        if self._landing is not None:
+            stats["landing"] = self._landing.stats()
+        return stats

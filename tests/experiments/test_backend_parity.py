@@ -1,0 +1,114 @@
+"""Cross-backend golden identity: heap vs wheel (DESIGN.md §4.11).
+
+The calendar-queue backend is only allowed to exist because it is
+observably identical to the heap: same result rows, same merged
+telemetry, same CLI output — at any worker count.  These tests pin that
+contract on real experiment workloads (E09 end-to-end; a reduced E04
+grid through the sweep executor).
+"""
+
+import contextlib
+
+import pytest
+
+from repro import telemetry
+from repro.experiments import e04_fig6_throughput_grid as e04
+from repro.experiments import e09_fig8a_lenet as e09
+from repro.experiments.__main__ import main
+from repro.experiments.sweep import Point, run_points
+from repro.sim import configure_backend
+
+
+@contextlib.contextmanager
+def _backend(name):
+    configure_backend(name)
+    try:
+        yield
+    finally:
+        configure_backend(None)
+
+
+#: merged-metrics keys that measure the host or the scheduler's own
+#: internals rather than the model; everything else must match exactly
+_HOST_KEYS = frozenset((
+    "sim.kernel.wall_seconds",
+    "sim.kernel.heap_peak",
+    "sim.kernel.charges_created",
+    "sim.kernel.charges_reused",
+))
+
+
+def _model_metrics(snapshot):
+    return {k: v for k, v in snapshot.items()
+            if k not in _HOST_KEYS and "wall" not in k}
+
+
+def _mini_grid():
+    """Four cheap E04 points spanning three designs and both backends'
+    interesting paths (doorbells, RMQ rings, RDMA, PCIe)."""
+    spec = [("host-centric", 20.0, 1), ("lynx-bluefield", 20.0, 1),
+            ("lynx-bluefield", 20.0, 8), ("lynx-xeon-6core", 200.0, 4)]
+    return [Point(("E04-mini", design, exec_us, n_mq), e04.measure_design,
+                  dict(design=design, exec_us=exec_us, n_mq=n_mq,
+                       measure=2000.0, warmup=500.0),
+                  root_seed=42)
+            for design, exec_us, n_mq in spec]
+
+
+@pytest.fixture(scope="module")
+def heap_grid():
+    """Reference rates + merged model metrics for the mini grid."""
+    with _backend("heap"), telemetry.scope() as reg:
+        rates = run_points(_mini_grid(), jobs=1)
+        snap = reg.snapshot()
+    return rates, _model_metrics(snap)
+
+
+class TestExperimentRows:
+    def test_e09_rows_identical(self):
+        with _backend("heap"):
+            heap_rows = e09.run(fast=True, seed=42).rows
+        with _backend("wheel"):
+            wheel_rows = e09.run(fast=True, seed=42).rows
+        assert heap_rows == wheel_rows
+
+
+class TestSweepGrid:
+    def test_serial_rates_and_metrics_identical(self, heap_grid):
+        heap_rates, heap_metrics = heap_grid
+        with _backend("wheel"), telemetry.scope() as reg:
+            wheel_rates = run_points(_mini_grid(), jobs=1)
+            wheel_metrics = _model_metrics(reg.snapshot())
+        assert wheel_rates == heap_rates
+        assert wheel_metrics == heap_metrics
+
+    def test_parallel_wheel_matches_serial_heap(self, heap_grid):
+        """Fan the wheel-backend grid across workers: values must equal
+        the serial heap reference bit-for-bit (workers inherit the
+        backend through the pool initializer)."""
+        heap_rates, heap_metrics = heap_grid
+        with _backend("wheel"), telemetry.scope() as reg:
+            wheel_rates = run_points(_mini_grid(), jobs=4)
+            wheel_metrics = _model_metrics(reg.snapshot())
+        assert wheel_rates == heap_rates
+        assert wheel_metrics == heap_metrics
+
+
+class TestCliBackendFlag:
+    def test_sim_backend_wheel_runs_and_resets(self, capsys):
+        from repro.sim import environment as env_mod
+
+        assert main(["E01", "--sim-backend", "wheel",
+                     "--kernel-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "[E01]" in out
+        assert "simulator kernel [wheel backend]:" in out
+        # the flag must not leak into later runs
+        assert env_mod._configured_backend is None
+
+    def test_same_rows_printed_either_backend(self, capsys):
+        assert main(["E01"]) == 0
+        heap_out = capsys.readouterr().out
+        assert main(["E01", "--sim-backend", "wheel"]) == 0
+        wheel_out = capsys.readouterr().out
+        assert heap_out == wheel_out

@@ -78,7 +78,14 @@ class TestMetricsFlag:
         assert len(telemetry.registry()) == root_before
 
     def test_kernel_stats_still_prints_via_shim(self, capsys):
+        from repro.sim import active_backend
+
         assert main(["E01", "--kernel-stats"]) == 0
         out = capsys.readouterr().out
-        assert "simulator kernel:" in out
+        # The heap header stays byte-identical to the pre-backend days;
+        # non-default backends are tagged (e.g. under REPRO_SIM_BACKEND).
+        backend = active_backend()
+        header = ("simulator kernel:" if backend == "heap"
+                  else "simulator kernel [%s backend]:" % backend)
+        assert header in out
         assert "events processed" in out

@@ -1,0 +1,277 @@
+"""The struct-of-arrays landing table behind wheel-backend Channels.
+
+The table's contract is bit-identity with the heap backend's
+per-message ``defer(latency, _land)`` machinery, so most tests here
+run a twin workload on both backends and compare every observable:
+delivered item sequences, channel counters, and the kernel's
+events-processed count.
+"""
+
+import pytest
+
+from repro.sim import Environment, WheelEnvironment
+from repro.sim.channel import Channel
+from repro.sim.landing import _SOLO_LIMIT, numpy_available
+from repro.sim.trace import Tracer
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="landing table requires numpy")
+
+
+def _twin(build):
+    """Run *build(env, out)* under both backends; return the two outs."""
+    outs = []
+    for cls in (Environment, WheelEnvironment):
+        env = cls()
+        out = {}
+        build(env, out)
+        env.run()
+        out["events_processed"] = env.events_processed
+        outs.append(out)
+    return outs
+
+
+class TestBurstParity:
+    def test_single_channel_burst(self):
+        def build(env, out):
+            chan = Channel(env, "burst", latency=2.0)
+            got = out["items"] = []
+
+            def pump(_e):
+                for i in range(32):
+                    chan.push(("msg", i), 64)
+
+            def drain(_e):
+                got.extend(chan.recv_batch())
+
+            env.defer(1.0, pump)
+            env.defer(4.0, drain)
+            out["chan"] = chan
+
+        heap, wheel = _twin(build)
+        assert heap["items"] == wheel["items"]
+        assert len(wheel["items"]) == 32
+        for key in ("sent", "delivered", "dropped", "bytes_moved"):
+            assert getattr(heap["chan"], key) == getattr(wheel["chan"], key)
+        assert heap["events_processed"] == wheel["events_processed"]
+
+    def test_interleaved_channels_break_batches(self):
+        def build(env, out):
+            a = Channel(env, "a", latency=1.0)
+            b = Channel(env, "b", latency=1.5)
+            got = out["items"] = []
+
+            def pump(_e):
+                for i in range(10):
+                    a.push(("a", i))
+                    b.push(("b", i))
+
+            env.defer(1.0, pump)
+            env.defer(5.0, lambda _e: got.extend(
+                [("a", x) for x in a.recv_batch()]
+                + [("b", x) for x in b.recv_batch()]))
+
+        heap, wheel = _twin(build)
+        assert heap["items"] == wheel["items"]
+        assert heap["events_processed"] == wheel["events_processed"]
+
+    def test_capacity_limited_drops(self):
+        def build(env, out):
+            chan = Channel(env, "small", capacity=5, latency=1.0)
+            env.defer(1.0, lambda _e: [chan.push(i) for i in range(12)])
+            out["chan"] = chan
+
+        heap, wheel = _twin(build)
+        for key in ("sent", "delivered", "dropped"):
+            assert (getattr(heap["chan"], key)
+                    == getattr(wheel["chan"], key)), key
+        assert wheel["chan"].dropped == 7
+        assert heap["events_processed"] == wheel["events_processed"]
+
+    def test_sink_with_parked_getters(self):
+        def build(env, out):
+            chan = Channel(env, "got", latency=1.0)
+            got = out["items"] = []
+
+            def consumer(env):
+                for _ in range(6):
+                    item = yield chan.get()
+                    got.append((env.now, item))
+
+            env.process(consumer(env))
+            env.defer(1.0, lambda _e: [chan.push(i) for i in range(6)])
+
+        heap, wheel = _twin(build)
+        assert heap["items"] == wheel["items"]
+        assert heap["events_processed"] == wheel["events_processed"]
+
+    def test_traced_channel_takes_slow_path(self):
+        def build(env, out):
+            env.tracer = Tracer(env, enabled=True, limit=64)
+            chan = Channel(env, "wire", latency=1.0)
+            env.defer(1.0, lambda _e: [chan.push(i) for i in range(4)])
+            env.defer(3.0, lambda _e: chan.recv_batch())
+            out["env"] = env
+
+        heap, wheel = _twin(build)
+        assert heap["env"].tracer.records == wheel["env"].tracer.records
+        assert any(r[2] == "deliver" for r in wheel["env"].tracer.records)
+        assert heap["events_processed"] == wheel["events_processed"]
+
+    def test_fault_hook_binding_captured_at_stage(self):
+        """Installing/removing a per-instance ``_land`` shadow between
+        pushes must split the batch and use the binding each message was
+        pushed under — exactly like the heap's bind-at-push defer."""
+        def build(env, out):
+            chan = Channel(env, "hooked", latency=2.0)
+            dropped = out["dropped"] = []
+
+            def hook(_event, chan=chan):
+                dropped.append(chan._in_flight.popleft())
+                chan.dropped += 1
+
+            def pump(_e):
+                chan.push("clean-1")
+                chan._land = hook
+                chan.push("faulted")
+                del chan._land
+                chan.push("clean-2")
+
+            env.defer(1.0, pump)
+            env.defer(5.0, lambda _e: out.setdefault("items",
+                                                     chan.recv_batch()))
+            out["chan"] = chan
+
+        heap, wheel = _twin(build)
+        assert heap["items"] == wheel["items"] == ["clean-1", "clean-2"]
+        assert heap["dropped"] == wheel["dropped"] == ["faulted"]
+        assert heap["chan"].dropped == wheel["chan"].dropped == 1
+        assert heap["events_processed"] == wheel["events_processed"]
+
+
+class TestAdaptiveBypass:
+    def test_solo_channels_fall_back_to_defer(self):
+        env = WheelEnvironment()
+        chan = Channel(env, "solo", latency=1.0)
+
+        def proc(env):
+            for i in range(_SOLO_LIMIT + 5):
+                chan.push(i)
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert chan._stage_off
+        assert not chan._stage_bursts
+        # Staging stopped once the limit was hit: later pushes deferred.
+        assert env._landing.staged == _SOLO_LIMIT
+
+    def test_bursty_channels_keep_staging(self):
+        env = WheelEnvironment()
+        chan = Channel(env, "bursty", latency=1.0)
+
+        def proc(env):
+            chan.push(0)
+            chan.push(1)  # one real burst marks the channel sticky
+            yield env.timeout(1.0)
+            for i in range(_SOLO_LIMIT * 2):
+                chan.push(i)
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert chan._stage_bursts
+        assert not chan._stage_off
+        assert env._landing.staged == _SOLO_LIMIT * 2 + 2
+
+
+class TestIntrospection:
+    def test_in_flight_views(self):
+        env = WheelEnvironment()
+        a = Channel(env, "a", latency=5.0)
+        b = Channel(env, "b", latency=9.0)
+        env.defer(1.0, lambda _e: ([a.push("x", 100) for _ in range(3)],
+                                   b.push("y", 50)))
+
+        def probe(_e):
+            table = env._landing
+            assert table.in_flight_count() == 4
+            assert table.in_flight_count(a) == 3
+            assert table.in_flight_bytes() == 350
+            assert table.in_flight_bytes(b) == 50
+            assert table.next_deadline() == 6.0
+            assert table.per_channel_counts() == {"a": 3, "b": 1}
+
+        env.defer(2.0, probe)
+        env.run()
+        table = env._landing
+        assert table.in_flight_count() == 0
+        assert table.stats()["staged"] == 4
+
+    def test_vector_counters_track_bulk_landings(self):
+        env = WheelEnvironment()
+        chan = Channel(env, "fast", latency=1.0)
+        env.defer(1.0, lambda _e: [chan.push(i) for i in range(16)])
+        env.run()
+        stats = env._landing.stats()
+        assert stats["vector_batches"] == 1
+        assert stats["vector_messages"] == 16
+        assert len(chan._items) == 16
+
+    def test_row_store_compaction_and_growth(self):
+        env = WheelEnvironment()
+        table = env._landing
+        initial_rows = len(table._deadline)
+        chan = Channel(env, "grow", latency=0.5)
+        spray = initial_rows + 100
+
+        def pump(env):
+            for i in range(spray):
+                chan.push(i)
+                # introspect mid-flight so rows materialize while the
+                # store wraps and compacts/grows
+                if i % 257 == 0:
+                    table.in_flight_count()
+                if i % 63 == 0:
+                    yield env.timeout(1.0)
+                    chan.recv_batch()
+
+        env.process(pump(env))
+        env.run()
+        assert table.staged >= spray
+        assert table.in_flight_count() == 0
+
+
+class TestRecvBatchFastPath:
+    def test_bulk_drain_matches_item_loop(self):
+        for cls in (Environment, WheelEnvironment):
+            env = cls()
+            chan = Channel(env, "q")
+            for i in range(10):
+                assert chan.try_put(i)
+            assert chan.recv_batch(max_items=4) == [0, 1, 2, 3]
+            assert chan.recv_batch() == [4, 5, 6, 7, 8, 9]
+            assert chan.recv_batch() == []
+
+    def test_bounded_channel_with_parked_putter_wakes(self):
+        for cls in (Environment, WheelEnvironment):
+            env = cls()
+            chan = Channel(env, "bounded", capacity=2)
+            done = []
+
+            def producer(env):
+                for i in range(4):
+                    yield chan.put(i)
+                done.append(env.now)
+
+            def consumer(env):
+                yield env.timeout(1.0)
+                got = chan.recv_batch()
+                yield env.timeout(1.0)
+                got += chan.recv_batch()
+                assert got == [0, 1, 2, 3]
+
+            env.process(producer(env))
+            env.process(consumer(env))
+            env.run()
+            assert done  # producer unblocked by the batched drain

@@ -1,0 +1,213 @@
+"""The calendar-queue backend against the heap determinism oracle.
+
+Every test here replays the *same* workload on a heap
+:class:`Environment` and a :class:`WheelEnvironment` and asserts the
+observable dispatch sequences are identical — the wheel's entire value
+proposition rests on being a drop-in, bit-identical scheduler.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Environment,
+    Interrupt,
+    URGENT,
+    WheelEnvironment,
+    make_environment,
+)
+from repro.sim.environment import EmptySchedule
+
+BACKENDS = (Environment, WheelEnvironment)
+
+
+def _replay(build):
+    """Run *build* under both backends; return their (now, tag) logs."""
+    logs = []
+    for cls in BACKENDS:
+        env = cls()
+        log = []
+        build(env, log)
+        env.run()
+        logs.append(log)
+    return logs
+
+
+class TestDispatchParity:
+    def test_defer_and_charge_interleave(self):
+        def build(env, log):
+            for delay in (3.0, 1.0, 2.0, 1.0, 0.0):
+                env.defer(delay, lambda _e, d=delay: log.append((env.now, d)))
+            env.charge(1.5).callbacks.append(lambda e: log.append((env.now, "c")))
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log
+
+    def test_urgent_beats_normal_at_same_time(self):
+        def build(env, log):
+            env.defer(1.0, lambda _e: log.append("normal"))
+            env.defer(1.0, lambda _e: log.append("urgent"), priority=URGENT)
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log == ["urgent", "normal"]
+
+    def test_far_future_overflow_entries(self):
+        """Delays beyond the 4096-bucket window traverse the overflow
+        heap and must still dispatch in (time, eid) order."""
+        window = WheelEnvironment.NBUCKETS * WheelEnvironment.WIDTH
+
+        def build(env, log):
+            for delay in (window * 3, 1.0, window + 0.5, window * 2, 2.0):
+                env.defer(delay, lambda _e, d=delay: log.append((env.now, d)))
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log
+        assert [t for t, _ in wheel_log] == sorted(t for t, _ in wheel_log)
+
+    def test_processes_and_interrupts(self):
+        def build(env, log):
+            def worker(env, name):
+                try:
+                    yield env.timeout(5.0)
+                    log.append((env.now, name, "done"))
+                except Interrupt as exc:
+                    log.append((env.now, name, "interrupted", exc.cause))
+
+            victim = env.process(worker(env, "victim"))
+            env.process(worker(env, "bystander"))
+
+            def interrupter(env):
+                yield env.timeout(2.0)
+                victim.interrupt("boom")
+
+            env.process(interrupter(env))
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log
+
+    def test_zero_delay_chains_at_one_timestamp(self):
+        def build(env, log):
+            def chain(_e, depth=0):
+                log.append((env.now, depth))
+                if depth < 50:
+                    env.defer(0.0, lambda e, d=depth + 1: chain(e, d))
+
+            env.defer(1.0, chain)
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log
+        assert len(wheel_log) == 51
+
+
+class TestRandomizedStress:
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+    def test_random_op_script_parity(self, seed):
+        """A randomized fixed-seed op mix (defers, charges, timeouts,
+        processes, re-arming callbacks, occasional far-future jumps)
+        dispatches identically on both backends."""
+        def build(env, log):
+            rng = random.Random(seed)
+            state = {"left": 600}
+
+            def fire(tag):
+                log.append((tag, env.now))
+                state["left"] -= 1
+                if state["left"] > 0:
+                    arm()
+
+            def arm():
+                op = rng.random()
+                delay = rng.choice((0.0, 0.1, 0.9, 1.0, 3.7, 17.0, 5000.0))
+                if op < 0.45:
+                    env.defer(delay, lambda _e: fire("d"))
+                elif op < 0.8:
+                    env.charge(delay).callbacks.append(lambda _e: fire("c"))
+                else:
+                    def proc(env, delay=delay):
+                        yield env.timeout(delay)
+                        fire("p")
+
+                    env.process(proc(env))
+
+            # Bounded run: each firing re-arms once, ~600 events total.
+            for _ in range(8):
+                arm()
+
+        heap_log, wheel_log = _replay(build)
+        assert heap_log == wheel_log
+
+    @pytest.mark.parametrize("seed", [3, 99])
+    def test_step_and_peek_parity(self, seed):
+        rng_delays = random.Random(seed)
+        delays = [rng_delays.choice((0.0, 0.5, 1.0, 2.5, 4097.0))
+                  for _ in range(200)]
+        logs = []
+        for cls in BACKENDS:
+            env = cls()
+            log = []
+            for delay in delays:
+                env.defer(delay, lambda _e, d=delay: log.append((env.now, d)))
+            while True:
+                horizon = env.peek()
+                if horizon == float("inf"):
+                    break
+                env.step()
+                log.append(("peeked", horizon))
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_step_raises_empty_schedule(self):
+        env = WheelEnvironment()
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+
+class TestWheelSpecifics:
+    def test_negative_initial_time_rejected(self):
+        with pytest.raises(SimulationError):
+            WheelEnvironment(initial_time=-1.0)
+        # The heap backend has no such restriction.
+        assert Environment(initial_time=-1.0).now == -1.0
+
+    def test_run_until_then_resume(self):
+        for cls in BACKENDS:
+            env = cls()
+            seen = []
+            env.defer(1.0, lambda _e: seen.append(env.now))
+            env.defer(5.0, lambda _e: seen.append(env.now))
+            env.run(until=3.0)
+            assert seen == [1.0]
+            assert env.now == 3.0
+            env.run()
+            assert seen == [1.0, 5.0]
+
+    def test_events_processed_parity(self):
+        counts = []
+        for cls in BACKENDS:
+            env = cls()
+
+            def pinger(env):
+                for _ in range(20):
+                    yield env.timeout(0.7)
+
+            env.process(pinger(env))
+            env.defer(3.0, lambda _e: None)
+            env.run(until=30.0)
+            counts.append(env.events_processed)
+        assert counts[0] == counts[1]
+
+    def test_make_environment_backend_selection(self):
+        assert type(make_environment(backend="heap")) is Environment
+        assert type(make_environment(backend="wheel")) is WheelEnvironment
+
+    def test_kernel_stats_carry_backend_and_landing(self):
+        env = WheelEnvironment()
+        stats = env.kernel_stats()
+        assert stats["backend"] == "wheel"
+        if env._landing is not None:
+            assert "landing" in stats
+        heap_stats = Environment().kernel_stats()
+        assert heap_stats["backend"] == "heap"
+        assert "landing" not in heap_stats

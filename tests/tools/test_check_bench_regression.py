@@ -1,0 +1,86 @@
+"""The benchmark regression checker (tools/check_bench_regression.py)."""
+
+import importlib.util
+import json
+import os
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                     "tools", "check_bench_regression.py")
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _TOOL)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def _timed(seconds, factor=1.0):
+    return {"measured_seconds": seconds, "machine_speed_factor": factor}
+
+
+def _rate(events_per_second, factor=1.0):
+    return {"events_per_second": events_per_second,
+            "machine_speed_factor": factor}
+
+
+class TestTimedSections:
+    def test_within_threshold_passes(self):
+        base = {"e09": _timed(1.0)}
+        cur = {"e09": _timed(1.1)}
+        assert checker.compare(base, cur, threshold=0.15) == []
+
+    def test_slowdown_beyond_threshold_fails(self):
+        base = {"e09": _timed(1.0)}
+        cur = {"e09": _timed(1.3)}
+        failures = checker.compare(base, cur, threshold=0.15)
+        assert [f[0] for f in failures] == ["e09"]
+
+    def test_machine_factor_normalizes_times(self):
+        # 2x slower wall-clock on a 2x slower machine: no regression.
+        base = {"e09": _timed(1.0, factor=1.0)}
+        cur = {"e09": _timed(2.0, factor=2.0)}
+        assert checker.compare(base, cur, threshold=0.15) == []
+
+
+class TestRateSections:
+    def test_rate_drop_beyond_threshold_fails(self):
+        base = {"kernel_churn": _rate(1_000_000)}
+        cur = {"kernel_churn": _rate(700_000)}
+        failures = checker.compare(base, cur, threshold=0.15)
+        assert [f[0] for f in failures] == ["kernel_churn"]
+
+    def test_rate_gain_passes(self):
+        base = {"kernel_churn": _rate(1_000_000)}
+        cur = {"kernel_churn": _rate(1_400_000)}
+        assert checker.compare(base, cur, threshold=0.15) == []
+
+    def test_machine_factor_normalizes_rates(self):
+        # Half the raw rate on a 2x slower machine: same normalized rate.
+        base = {"kernel_churn": _rate(1_000_000, factor=1.0)}
+        cur = {"kernel_churn": _rate(500_000, factor=2.0)}
+        assert checker.compare(base, cur, threshold=0.15) == []
+
+    def test_best_ratio_sections_gated_unscaled(self):
+        base = {"landing": {"best_ratio": 3.5}}
+        ok = {"landing": {"best_ratio": 3.2, "machine_speed_factor": 9.0}}
+        bad = {"landing": {"best_ratio": 2.0}}
+        assert checker.compare(base, ok, threshold=0.15) == []
+        failures = checker.compare(base, bad, threshold=0.15)
+        assert [f[0] for f in failures] == ["landing"]
+
+    def test_unknown_sections_skipped(self):
+        base = {"meta": {"points": 14}, "gone": _rate(1_000_000)}
+        cur = {"meta": {"points": 14}}
+        assert checker.compare(base, cur, threshold=0.15) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps({"e09": _timed(1.0),
+                                         "churn": _rate(1_000_000)}))
+        cur_path.write_text(json.dumps({"e09": _timed(1.0),
+                                        "churn": _rate(1_000_000)}))
+        assert checker.main([str(base_path), str(cur_path)]) == 0
+        cur_path.write_text(json.dumps({"e09": _timed(1.0),
+                                        "churn": _rate(100_000)}))
+        assert checker.main([str(base_path), str(cur_path)]) == 1
