@@ -5,6 +5,7 @@ Each isolates one Lynx design decision (see
 effect.
 """
 
+import json
 import os
 
 from repro.experiments import ablations
@@ -12,12 +13,26 @@ from repro.experiments import ablations
 FAST = os.environ.get("REPRO_FULL", "") != "1"
 SEED = int(os.environ.get("REPRO_SEED", "42"))
 
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "tests",
+                            "fixtures", "golden_ablation_rows.json")
+with open(_GOLDEN_PATH) as _fh:
+    _GOLDEN = json.load(_fh)
+
 
 def _bench(benchmark, study):
     result = benchmark.pedantic(lambda: study(fast=FAST, seed=SEED),
                                 rounds=1, iterations=1)
     print()
     print(result.render())
+    if FAST and SEED == 42:
+        # Row parity with the hand-written predecessors: the campaign
+        # declarations must reproduce the golden fixed-seed rows (and
+        # notes) bit-identically.
+        rows = json.loads(json.dumps(result.rows))
+        assert rows == _GOLDEN["rows"][result.exp_id], \
+            "%s rows drifted from the golden fixture" % result.exp_id
+        assert list(result.notes) == _GOLDEN["notes"][result.exp_id], \
+            "%s notes drifted from the golden fixture" % result.exp_id
     return result
 
 

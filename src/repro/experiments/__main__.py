@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --full E04      # full figure axes
     python -m repro.experiments --list
     python -m repro.experiments --extras        # breakdown + ablations
+    python -m repro.experiments campaign --fast # declarative ablations
+                                                # + importance table
 """
 
 import argparse
@@ -48,7 +50,107 @@ def _print_trace(exp_id, needle, limit):
     print()
 
 
+def campaign_main(argv):
+    """The ``campaign`` subcommand: declarative ablation campaigns.
+
+    Runs the requested campaigns (default: the full ablation suite),
+    prints each study's classic table plus the ranked per-component
+    importance table, and optionally writes the ``repro.campaign/1``
+    JSON document for the report scorecard.
+    """
+    from ..report.scorecard import render_importance
+    from .campaign import CAMPAIGNS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments campaign",
+        description="Run declarative ablation campaigns and rank "
+                    "per-component importance (DESIGN.md §4.12).")
+    parser.add_argument("campaigns", nargs="*", metavar="ID",
+                        help="campaign ids (default: the whole ablation "
+                             "suite; use --list to see them)")
+    parser.add_argument("--fast", action="store_true",
+                        help="trimmed grids and measurement windows "
+                             "(the default; kept explicit for scripts)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full grids instead of the trimmed "
+                             "fast ones")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan grid points across N worker processes "
+                             "(bit-identical to a serial run)")
+    parser.add_argument("--pairwise", action="store_true",
+                        help="also run two-knob-off interaction points "
+                             "(multi-knob campaigns only)")
+    parser.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                        metavar="{heap,wheel}",
+                        help="event-scheduler backend (rows and "
+                             "importance are bit-identical across "
+                             "backends)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the %s JSON document (rows, run ids, "
+                             "importance) for the report scorecard"
+                             % telemetry.CAMPAIGN_SCHEMA)
+    parser.add_argument("--list", action="store_true",
+                        help="list campaign ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, camp in CAMPAIGNS.items():
+            print("%s  %s" % (exp_id, camp.title))
+        return 0
+    jobs = args.jobs
+    if jobs is not None and jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.fast and args.full:
+        parser.error("--fast and --full are mutually exclusive")
+    wanted = ([c.upper() for c in args.campaigns]
+              or [c.exp_id for c in ablations.ALL_STUDIES])
+    unknown = [c for c in wanted if c not in CAMPAIGNS]
+    if unknown:
+        parser.error("unknown campaign id(s): %s (use --list)"
+                     % ", ".join(unknown))
+
+    telemetry.push_scope()
+    if args.sim_backend is not None:
+        configure_backend(args.sim_backend)
+    sweep.configure(jobs)
+    docs = []
+    try:
+        for exp_id in wanted:
+            start = time.time()
+            with telemetry.scope() as reg:
+                outcome = CAMPAIGNS[exp_id].run(
+                    fast=not args.full, seed=args.seed, jobs=jobs,
+                    pairwise=True if args.pairwise else None)
+                snap = reg.snapshot()
+            telemetry.registry().merge(snap)
+            outcome.result.attach_metrics(snap)
+            docs.append(outcome.to_doc())
+            print(outcome.result.render())
+            for variant in outcome.variants:
+                print("run %s  %s%s" % (variant.run_id, variant.token,
+                                        "  (baseline)"
+                                        if variant.is_baseline else ""))
+            print("(%.1fs)\n" % (time.time() - start))
+        print(render_importance(docs))
+        if args.out:
+            telemetry.dump_campaign(
+                docs, args.out,
+                meta={"seed": args.seed, "fast": not args.full,
+                      "sim_backend": active_backend()})
+            print("\ncampaign document written to %s" % args.out)
+    finally:
+        sweep.configure(None)
+        if args.sim_backend is not None:
+            configure_backend(None)
+        telemetry.pop_scope()
+    return 0
+
+
 def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the Lynx (ASPLOS'20) evaluation.")
@@ -172,10 +274,16 @@ def main(argv=None):
                 _print_trace(exp_id, args.trace_channel, args.trace_limit)
 
         if args.extras:
-            print(breakdown.run(fast=not args.full, seed=args.seed).render())
+            # Forward --jobs explicitly: the studies would otherwise
+            # fall back to the ambient sweep configuration, and callers
+            # invoking them outside this CLI (ablations.run, notebooks)
+            # used to silently run serial.
+            print(breakdown.run(fast=not args.full, seed=args.seed,
+                                jobs=jobs).render())
             print()
             for study in ablations.ALL_STUDIES:
-                print(study(fast=not args.full, seed=args.seed).render())
+                print(study(fast=not args.full, seed=args.seed,
+                            jobs=jobs).render())
                 print()
 
         if args.kernel_stats:

@@ -1,26 +1,18 @@
-"""Ablation studies of Lynx's design choices.
+"""Ablation studies of Lynx's design choices, as campaign declarations.
 
 These go beyond the paper's tables: each isolates one design decision
-DESIGN.md calls out and quantifies it on the simulator.
+DESIGN.md calls out and quantifies it on the simulator.  Every study is
+a :class:`~.campaign.Campaign` declaration (DESIGN.md §4.12): a
+component registers its knobs against the config surface or the
+scenario signature, the engine generates the grid as sweep
+:class:`~.sweep.Point`\\ s (module-level scenario builders, picklable
+kwargs, so ``--jobs N`` fans the whole ``--extras`` suite across worker
+processes), and per-component importance scores fall out of the
+telemetry snapshot deltas.
 
-* :func:`gpu_centric_comparison` — Lynx vs the §3.3 GPU-centric design
-  (GPU-side network stack): I/O threadblocks and per-message GPU stack
-  time cost application throughput.
-* :func:`dispatch_policy_study` — round-robin vs least-loaded vs
-  client-steering under a skewed client population (§4.2's policies).
-* :func:`coalescing_study` — the §5.1 metadata/data coalescing
-  optimization on vs off (1 vs 2 RDMA writes per delivery).
-* :func:`ring_size_study` — mqueue ring depth vs drop rate and latency
-  under bursty overload.
-* :func:`sweep_interval_study` — the Remote MQ Manager's TX poll cadence
-  vs latency and SNIC core burn.
-
-Every study declares its grid as sweep :class:`~.sweep.Point`\\ s
-(module-level builders, picklable kwargs), so ``--jobs N`` fans the
-whole ``--extras`` suite across worker processes.
+The study list at the bottom of this docstring is generated from the
+campaign registry at import time — it cannot drift from the code.
 """
-
-from dataclasses import replace
 
 from ..apps.base import SpinApp
 from ..baseline.gpu_centric import GpuCentricServer, RDMA_PROTO
@@ -28,9 +20,10 @@ from ..config import K40M
 from ..lynx.dispatch import make_policy
 from ..net import Address, ClosedLoopGenerator, OpenLoopGenerator
 from ..net.packet import UDP
-from .base import ExperimentResult, krps
+from .base import krps
+from .campaign import Campaign, Component, Knob, describe, merged_result, \
+    run_campaigns
 from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, measure_closed_loop
-from .sweep import Point, run_points
 from .testbed import Testbed
 
 
@@ -41,22 +34,25 @@ from .testbed import Testbed
 _GC_KERNEL_US = 200.0
 
 
-def _gc_lynx_point(measure, seed=42):
-    """Lynx on the host Xeon: every threadblock serves the app."""
-    dep = deploy(LYNX_XEON_6, app=SpinApp(_GC_KERNEL_US), n_mqueues=240,
-                 proto=UDP, seed=seed)
-    clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
-    for c in clients:
-        ClosedLoopGenerator(dep.env, c, dep.address, concurrency=300,
-                            payload_fn=lambda i: b"x" * 64, proto=UDP,
-                            timeout=100000)
-    dep.tb.warmup_then_measure([c.responses for c in clients], 20000.0,
-                               measure)
-    return sum(c.responses.per_sec() for c in clients)
+def _gc_scenario(design, measure, seed=42):
+    """One grid point of the §3.3 comparison.
 
-
-def _gc_point(io_tbs, measure, seed=42):
-    """GPU-centric: *io_tbs* I/O threadblocks carved out of the GPU."""
+    ``design == "lynx"`` runs Lynx on the host Xeon (every threadblock
+    serves the app); an integer runs the GPU-centric server with that
+    many I/O threadblocks carved out of the GPU.
+    """
+    if design == "lynx":
+        dep = deploy(LYNX_XEON_6, app=SpinApp(_GC_KERNEL_US), n_mqueues=240,
+                     proto=UDP, seed=seed)
+        clients = [dep.tb.client("10.0.9.%d" % i) for i in (1, 2)]
+        for c in clients:
+            ClosedLoopGenerator(dep.env, c, dep.address, concurrency=300,
+                                payload_fn=lambda i: b"x" * 64, proto=UDP,
+                                timeout=100000)
+        dep.tb.warmup_then_measure([c.responses for c in clients], 20000.0,
+                                   measure)
+        return sum(c.responses.per_sec() for c in clients)
+    io_tbs = design
     tb = Testbed(seed=seed)
     env = tb.env
     host = tb.machine("10.0.0.1")
@@ -75,33 +71,41 @@ def _gc_point(io_tbs, measure, seed=42):
     return sum(c.responses.per_sec() for c in gc_clients)
 
 
-def gpu_centric_comparison(fast=True, seed=42, jobs=None):
-    """Compute-bound service: Lynx frees the GPU resources the
-    GPU-centric design spends on its network stack."""
-    result = ExperimentResult(
-        "ABL-GC", "Lynx vs GPU-centric (GPU-side network stack)",
-        "§3.3 ablation")
-    measure = 60000.0 if fast else 200000.0
-    io_tb_counts = (16, 40, 80)
-    # Compare on equal CPU silicon (Lynx on the host Xeon) so the delta
-    # isolates the GPU resources the GPU-centric stack consumes, not
-    # ARM-vs-Xeon speed.
-    points = [Point(("ABL-GC", "lynx"), _gc_lynx_point,
-                    dict(measure=measure), root_seed=seed)]
-    points += [Point(("ABL-GC", io_tbs), _gc_point,
-                     dict(io_tbs=io_tbs, measure=measure), root_seed=seed)
-               for io_tbs in io_tb_counts]
-    values = run_points(points, jobs=jobs)
-    lynx_tput = values[0]
-    result.add(design="lynx-on-xeon-6core", app_threadblocks=240,
-               krps=krps(lynx_tput), relative=1.0)
-    for io_tbs, tput in zip(io_tb_counts, values[1:]):
-        result.add(design="gpu-centric (%d I/O TBs)" % io_tbs,
-                   app_threadblocks=240 - io_tbs, krps=krps(tput),
-                   relative=round(tput / lynx_tput, 3))
-    result.note("the GPU-centric design also forfeits UDP/TCP clients "
-                "entirely (RDMA transport only)")
-    return result
+def _gc_row(ctx, variant, value):
+    if variant.is_baseline:
+        return dict(design="lynx-on-xeon-6core", app_threadblocks=240,
+                    krps=krps(value), relative=1.0)
+    io_tbs = variant.assignment["design"]
+    return dict(design="gpu-centric (%d I/O TBs)" % io_tbs,
+                app_threadblocks=240 - io_tbs, krps=krps(value),
+                relative=round(value / ctx.baseline_value, 3))
+
+
+gpu_centric_comparison = Campaign(
+    "ABL-GC", "Lynx vs GPU-centric (GPU-side network stack)",
+    "§3.3 ablation",
+    scenario=_gc_scenario,
+    slug="gpu_centric_comparison",
+    summary="Lynx vs the §3.3 GPU-centric design (GPU-side network "
+            "stack): I/O threadblocks and per-message GPU stack time "
+            "cost application throughput",
+    components=[Component(
+        "host-termination",
+        # Compare on equal CPU silicon (Lynx on the host Xeon) so the
+        # delta isolates the GPU resources the GPU-centric stack
+        # consumes, not ARM-vs-Xeon speed.
+        [Knob("design", values=("lynx", 16, 40, 80), baseline="lynx",
+              kwarg="design",
+              doc="who runs the network stack: Lynx on host cores, or "
+                  "the GPU itself with N I/O threadblocks")],
+        doc="terminating the network off the GPU keeps all 240 "
+            "threadblocks serving the application")],
+    settings=lambda fast: dict(measure=60000.0 if fast else 200000.0),
+    row=_gc_row,
+    metric="krps",
+    notes=("the GPU-centric design also forfeits UDP/TCP clients "
+           "entirely (RDMA transport only)",),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -124,7 +128,7 @@ class SkewedApp(SpinApp):
         return b"done"
 
 
-def _dispatch_point(policy_name, measure, seed=42):
+def _dispatch_scenario(policy_name, measure, seed=42):
     dep = deploy(LYNX_BLUEFIELD, app=SkewedApp(), n_mqueues=8,
                  proto=UDP, seed=seed)
     binding = dep.server._ports[7777]
@@ -135,37 +139,41 @@ def _dispatch_point(policy_name, measure, seed=42):
     return tput, latency.p50(), latency.p99()
 
 
-def dispatch_policy_study(fast=True, seed=42, jobs=None):
-    """Skewed per-request service times: least-loaded shines, steering
-    pins clients, round-robin splits the difference."""
-    result = ExperimentResult(
-        "ABL-DP", "Dispatch policies under skewed request cost",
-        "§4.2 ablation")
-    measure = 60000.0 if fast else 200000.0
-    policies = ("round-robin", "least-loaded", "steering")
-    points = [Point(("ABL-DP", policy), _dispatch_point,
-                    dict(policy_name=policy, measure=measure),
-                    root_seed=seed)
-              for policy in policies]
-    for policy, (tput, p50, p99) in zip(policies,
-                                        run_points(points, jobs=jobs)):
-        result.add(policy=policy, krps=krps(tput),
-                   p50_us=round(p50, 1),
-                   p99_us=round(p99, 1))
-    result.note("least-loaded avoids queueing behind the 10x requests; "
-                "steering trades balance for per-client affinity")
-    return result
+def _dispatch_row(ctx, variant, value):
+    tput, p50, p99 = value
+    return dict(policy=variant.assignment["dispatch.policy"],
+                krps=krps(tput), p50_us=round(p50, 1), p99_us=round(p99, 1))
+
+
+dispatch_policy_study = Campaign(
+    "ABL-DP", "Dispatch policies under skewed request cost",
+    "§4.2 ablation",
+    scenario=_dispatch_scenario,
+    slug="dispatch_policy_study",
+    summary="round-robin vs least-loaded vs client-steering under a "
+            "skewed client population (§4.2's policies)",
+    components=[Component(
+        "dispatcher",
+        [Knob("dispatch.policy",
+              values=("round-robin", "least-loaded", "steering"),
+              baseline="round-robin", kwarg="policy_name",
+              doc="mqueue selection policy for ingress dispatch")],
+        doc="skewed per-request service times: least-loaded shines, "
+            "steering pins clients, round-robin splits the difference")],
+    settings=lambda fast: dict(measure=60000.0 if fast else 200000.0),
+    row=_dispatch_row,
+    metric="p99_us",
+    higher_is_better=False,
+    notes=("least-loaded avoids queueing behind the 10x requests; "
+           "steering trades balance for per-client affinity",),
+)
 
 
 # ---------------------------------------------------------------------------
 # Metadata coalescing
 # ---------------------------------------------------------------------------
 
-def _coalescing_point(coalesce, measure, seed=42):
-    from ..config import DEFAULT_CONFIG
-
-    config = DEFAULT_CONFIG.with_(
-        lynx=replace(DEFAULT_CONFIG.lynx, coalesce_metadata=coalesce))
+def _coalescing_scenario(config, measure, seed=42):
     dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=1,
                  proto=UDP, seed=seed, config=config)
     tput, latency = measure_closed_loop(
@@ -175,42 +183,51 @@ def _coalescing_point(coalesce, measure, seed=42):
     return latency.p50(), ops
 
 
-def coalescing_study(fast=True, seed=42, jobs=None):
-    """§5.1: appending the 4B metadata to the payload halves the RDMA
-    writes per delivery."""
-    result = ExperimentResult(
-        "ABL-CO", "Metadata/data coalescing on vs off", "§5.1 ablation")
-    measure = 40000.0 if fast else 120000.0
-    points = [Point(("ABL-CO", coalesce), _coalescing_point,
-                    dict(coalesce=coalesce, measure=measure),
-                    root_seed=seed)
-              for coalesce in (True, False)]
-    for coalesce, (p50, ops) in zip((True, False),
-                                    run_points(points, jobs=jobs)):
-        result.add(coalescing="on" if coalesce else "off",
-                   p50_us=round(p50, 1),
-                   rdma_ops_per_msg=round(ops, 2))
+def _coalescing_row(ctx, variant, value):
+    p50, ops = value
+    return dict(coalescing="on" if variant.assignment["coalescing"]
+                else "off",
+                p50_us=round(p50, 1), rdma_ops_per_msg=round(ops, 2))
+
+
+def _coalescing_finish(ctx, result):
     on = result.find(coalescing="on")
     off = result.find(coalescing="off")
     result.note("coalescing saves %.1fus and %.1f RDMA ops per message"
                 % (off["p50_us"] - on["p50_us"],
                    off["rdma_ops_per_msg"] - on["rdma_ops_per_msg"]))
-    return result
+
+
+coalescing_study = Campaign(
+    "ABL-CO", "Metadata/data coalescing on vs off", "§5.1 ablation",
+    scenario=_coalescing_scenario,
+    slug="coalescing_study",
+    summary="the §5.1 metadata/data coalescing optimization on vs off "
+            "(1 vs 2 RDMA writes per delivery)",
+    components=[Component(
+        "coalescing",
+        [Knob("coalescing", values=(True, False), baseline=True,
+              config="lynx.coalesce_metadata",
+              doc="append the 4B metadata to the payload (§5.1), "
+                  "halving the RDMA writes per delivery")])],
+    settings=lambda fast: dict(measure=40000.0 if fast else 120000.0),
+    row=_coalescing_row,
+    metric="p50_us",
+    higher_is_better=False,
+    finish=_coalescing_finish,
+)
 
 
 # ---------------------------------------------------------------------------
 # Ring sizing
 # ---------------------------------------------------------------------------
 
-def _ring_point(entries, measure, seed=42):
-    from ..config import DEFAULT_CONFIG
+def _ring_scenario(config, measure, seed=42):
     from ..net.arrivals import OnOffBurst
     from ..sim import RngRegistry
 
     kernel_us = 100.0
     service_rate = 1.0 / (kernel_us + 10.0)
-    config = DEFAULT_CONFIG.with_(
-        lynx=replace(DEFAULT_CONFIG.lynx, ring_entries=entries))
     dep = deploy(LYNX_BLUEFIELD, app=SpinApp(kernel_us), n_mqueues=1,
                  proto=UDP, seed=seed, config=config)
     client = dep.tb.client("10.0.9.1")
@@ -230,37 +247,39 @@ def _ring_point(entries, measure, seed=42):
             client.latency.p50())
 
 
-def ring_size_study(fast=True, seed=42, jobs=None):
-    """Ring depth trades drop rate against queueing delay under bursty
-    ~2x overload (Markov-modulated on/off arrivals)."""
-    result = ExperimentResult(
-        "ABL-RS", "mqueue ring depth under bursty 2x overload",
-        "§4.2 ablation")
-    measure = 50000.0 if fast else 150000.0
-    depths = (4, 16, 64, 256)
-    points = [Point(("ABL-RS", entries), _ring_point,
-                    dict(entries=entries, measure=measure), root_seed=seed)
-              for entries in depths]
-    for entries, (goodput, drop_rate, p50) in zip(
-            depths, run_points(points, jobs=jobs)):
-        result.add(ring_entries=entries,
-                   goodput_krps=krps(goodput),
-                   drop_rate=round(drop_rate, 3),
-                   p50_us=round(p50, 1))
-    result.note("bigger rings shed the same overload but convert drops "
-                "into queueing delay — classic buffer sizing")
-    return result
+def _ring_row(ctx, variant, value):
+    goodput, drop_rate, p50 = value
+    return dict(ring_entries=variant.assignment["mqueue.ring_entries"],
+                goodput_krps=krps(goodput), drop_rate=round(drop_rate, 3),
+                p50_us=round(p50, 1))
+
+
+ring_size_study = Campaign(
+    "ABL-RS", "mqueue ring depth under bursty 2x overload",
+    "§4.2 ablation",
+    scenario=_ring_scenario,
+    slug="ring_size_study",
+    summary="mqueue ring depth vs drop rate and latency under bursty "
+            "overload",
+    components=[Component(
+        "mqueue",
+        [Knob("mqueue.ring_entries", values=(4, 16, 64, 256), baseline=64,
+              config="lynx.ring_entries",
+              doc="entries per mqueue ring: trades drop rate against "
+                  "queueing delay under bursty overload")])],
+    settings=lambda fast: dict(measure=50000.0 if fast else 150000.0),
+    row=_ring_row,
+    metric="goodput_krps",
+    notes=("bigger rings shed the same overload but convert drops "
+           "into queueing delay — classic buffer sizing",),
+)
 
 
 # ---------------------------------------------------------------------------
 # Sweep interval
 # ---------------------------------------------------------------------------
 
-def _sweep_interval_point(interval, measure, seed=42):
-    from ..config import DEFAULT_CONFIG
-
-    config = DEFAULT_CONFIG.with_(
-        lynx=replace(DEFAULT_CONFIG.lynx, sweep_interval=interval))
+def _sweep_interval_scenario(config, measure, seed=42):
     dep = deploy(LYNX_BLUEFIELD, app=SpinApp(20.0), n_mqueues=8,
                  proto=UDP, seed=seed, config=config)
     tput, latency = measure_closed_loop(
@@ -269,34 +288,36 @@ def _sweep_interval_point(interval, measure, seed=42):
     return tput, latency.p50(), dep.service.manager.sweeps
 
 
-def sweep_interval_study(fast=True, seed=42, jobs=None):
-    """The TX doorbell sweep cadence.
+def _sweep_interval_row(ctx, variant, value):
+    tput, p50, sweeps = value
+    return dict(sweep_interval_us=variant.assignment["rmq.sweep_interval"],
+                krps=krps(tput), p50_us=round(p50, 1), sweeps=sweeps)
 
-    Because sweeps are doorbell-armed, request latency is nearly
-    insensitive to the interval; what the interval buys is *fewer,
-    larger sweeps* — less SNIC core time burnt in scans and RDMA
-    doorbell reads for the same delivered load."""
-    result = ExperimentResult(
-        "ABL-SW", "Remote MQ Manager sweep interval", "§5.1 ablation")
-    measure = 40000.0 if fast else 120000.0
-    intervals = (0.5, 1.0, 4.0, 16.0)
-    points = [Point(("ABL-SW", interval), _sweep_interval_point,
-                    dict(interval=interval, measure=measure),
-                    root_seed=seed)
-              for interval in intervals]
-    for interval, (tput, p50, sweeps) in zip(
-            intervals, run_points(points, jobs=jobs)):
-        result.add(sweep_interval_us=interval, krps=krps(tput),
-                   p50_us=round(p50, 1),
-                   sweeps=sweeps)
-    return result
+
+sweep_interval_study = Campaign(
+    "ABL-SW", "Remote MQ Manager sweep interval", "§5.1 ablation",
+    scenario=_sweep_interval_scenario,
+    slug="sweep_interval_study",
+    summary="the Remote MQ Manager's TX poll cadence vs latency and "
+            "SNIC core burn — sweeps are doorbell-armed, so the "
+            "interval buys fewer, larger sweeps rather than latency",
+    components=[Component(
+        "rmq-manager",
+        [Knob("rmq.sweep_interval", values=(0.5, 1.0, 4.0, 16.0),
+              baseline=1.0, config="lynx.sweep_interval",
+              doc="minimum interval between TX doorbell sweeps of one "
+                  "accelerator's rings")])],
+    settings=lambda fast: dict(measure=40000.0 if fast else 120000.0),
+    row=_sweep_interval_row,
+    metric="krps",
+)
 
 
 # ---------------------------------------------------------------------------
 # Connection scaling
 # ---------------------------------------------------------------------------
 
-def _connection_point(n_conns, n_mqueues, measure, seed=42):
+def _connection_scenario(n_conns, n_mqueues, measure, seed=42):
     from ..net.packet import TCP
 
     dep = deploy(LYNX_BLUEFIELD, app=SpinApp(100.0),
@@ -314,38 +335,43 @@ def _connection_point(n_conns, n_mqueues, measure, seed=42):
     return tput, len(dep.service.mqueues)
 
 
-def connection_scaling_study(fast=True, seed=42, jobs=None):
-    """§4.5: "Lynx allows multiplexing multiple connections over the
-    same server mqueue" — unlike prior GPU-networking systems, which
-    pinned a QP or socket per connection.  Scaling the TCP client
-    population with a fixed mqueue pool must not collapse throughput or
-    grow accelerator-side state."""
-    result = ExperimentResult(
-        "ABL-CS", "TCP connection scaling over a fixed mqueue pool",
-        "§4.5 ablation")
-    measure = 50000.0 if fast else 150000.0
-    n_mqueues = 4
-    counts = (4, 32, 128) if fast else (4, 16, 64, 128, 256)
-    points = [Point(("ABL-CS", n_conns), _connection_point,
-                    dict(n_conns=n_conns, n_mqueues=n_mqueues,
-                         measure=measure),
-                    root_seed=seed)
-              for n_conns in counts]
-    for n_conns, (tput, rings) in zip(counts, run_points(points, jobs=jobs)):
-        result.add(connections=n_conns, mqueues=n_mqueues,
-                   krps=krps(tput),
-                   accel_rings=rings)
-    result.note("accelerator-side state stays at %d rings regardless of "
-                "the connection count; throughput saturates at the SNIC "
-                "TCP limit without collapsing" % n_mqueues)
-    return result
+def _connection_row(ctx, variant, value):
+    tput, rings = value
+    return dict(connections=variant.assignment["net.connections"],
+                mqueues=4, krps=krps(tput), accel_rings=rings)
+
+
+connection_scaling_study = Campaign(
+    "ABL-CS", "TCP connection scaling over a fixed mqueue pool",
+    "§4.5 ablation",
+    scenario=_connection_scenario,
+    slug="connection_scaling_study",
+    summary="§4.5: multiplexing many TCP connections over a fixed "
+            "mqueue pool must not collapse throughput or grow "
+            "accelerator-side state",
+    components=[Component(
+        "connection-mux",
+        [Knob("net.connections",
+              values=lambda fast: (4, 32, 128) if fast
+              else (4, 16, 64, 128, 256),
+              baseline=4, kwarg="n_conns",
+              doc="TCP client connections multiplexed over the fixed "
+                  "4-mqueue pool")])],
+    settings=lambda fast: dict(n_mqueues=4,
+                               measure=50000.0 if fast else 150000.0),
+    row=_connection_row,
+    metric="krps",
+    notes=("accelerator-side state stays at 4 rings regardless of "
+           "the connection count; throughput saturates at the SNIC "
+           "TCP limit without collapsing",),
+)
 
 
 # ---------------------------------------------------------------------------
 # Host-centric core scaling (the driver bottleneck)
 # ---------------------------------------------------------------------------
 
-def _driver_contention_point(cores, measure, seed=42):
+def _driver_contention_scenario(cores, measure, seed=42):
     from .common import HOST_CENTRIC
 
     dep = deploy(HOST_CENTRIC, app=SpinApp(20.0), proto=UDP, seed=seed,
@@ -362,32 +388,46 @@ def _driver_contention_point(cores, measure, seed=42):
     return tput, driver.contended_ops / max(1, driver.ops)
 
 
-def driver_contention_study(fast=True, seed=42, jobs=None):
-    """§6.1: "we run on one CPU core because more threads result in a
-    slowdown due to an NVIDIA driver bottleneck" — measured."""
-    result = ExperimentResult(
-        "ABL-DC", "Host-centric serving cores vs the driver lock",
-        "§6.1 ablation")
-    measure = 40000.0 if fast else 120000.0
-    core_counts = (1, 2, 4, 6)
-    points = [Point(("ABL-DC", cores), _driver_contention_point,
-                    dict(cores=cores, measure=measure), root_seed=seed)
-              for cores in core_counts]
-    for cores, (tput, share) in zip(core_counts,
-                                    run_points(points, jobs=jobs)):
-        result.add(cores=cores, krps=krps(tput),
-                   contended_op_share=round(share, 2))
-    result.note("adding serving cores increases driver-lock contention "
-                "faster than it adds useful work")
-    return result
+def _driver_contention_row(ctx, variant, value):
+    tput, share = value
+    return dict(cores=variant.assignment["host.serving_cores"],
+                krps=krps(tput), contended_op_share=round(share, 2))
+
+
+driver_contention_study = Campaign(
+    "ABL-DC", "Host-centric serving cores vs the driver lock",
+    "§6.1 ablation",
+    scenario=_driver_contention_scenario,
+    slug="driver_contention_study",
+    summary="§6.1: \"more threads result in a slowdown due to an "
+            "NVIDIA driver bottleneck\" — measured",
+    components=[Component(
+        "host-driver",
+        [Knob("host.serving_cores", values=(1, 2, 4, 6), baseline=1,
+              kwarg="cores",
+              doc="host-centric serving cores contending on the "
+                  "driver lock")])],
+    settings=lambda fast: dict(measure=40000.0 if fast else 120000.0),
+    row=_driver_contention_row,
+    metric="krps",
+    notes=("adding serving cores increases driver-lock contention "
+           "faster than it adds useful work",),
+)
 
 
 # ---------------------------------------------------------------------------
 # Projected full Innova (§5.2)
 # ---------------------------------------------------------------------------
 
-def _innova_full_loop_point(measure, seed=42):
-    """The projected full-duplex Innova echo loop (§5.2)."""
+def _innova_scenario(platform, measure, seed=42):
+    """64B echo on the projected full Innova or on Bluefield."""
+    if platform == "bluefield":
+        from .common import measure_saturation
+
+        dep = deploy(LYNX_BLUEFIELD, app=SpinApp(0.0), n_mqueues=240,
+                     proto=UDP, seed=seed)
+        return measure_saturation(dep, lambda i: b"x" * 64, 1.5e6,
+                                  warmup=10000.0, measure=measure)
     from ..config import INNOVA_PROJECTED, K40M
     from ..lynx.innova import InnovaLynxServer
     from ..lynx.iolib import AcceleratorIO
@@ -427,42 +467,45 @@ def _innova_full_loop_point(measure, seed=42):
     return server.responses.per_sec()
 
 
-def _innova_bluefield_point(measure, seed=42):
-    """Bluefield full echo at the same message size / mqueue count."""
-    from .common import measure_saturation
+def _innova_row(ctx, variant, value):
+    if variant.assignment["platform"] == "innova":
+        return dict(platform="innova-projected (full loop)",
+                    mpps=round(value / 1e6, 2), vs_bluefield=None)
+    return dict(platform="bluefield (full loop)",
+                mpps=round(value / 1e6, 3),
+                vs_bluefield=round(ctx.value("innova") / value, 1))
 
-    dep = deploy(LYNX_BLUEFIELD, app=SpinApp(0.0), n_mqueues=240, proto=UDP,
-                 seed=seed)
-    return measure_saturation(dep, lambda i: b"x" * 64, 1.5e6,
-                              warmup=10000.0, measure=measure)
+
+def _innova_point_kwargs(fast, variant):
+    # the Bluefield loop is ~15x slower; give it a 4x longer window so
+    # the measured rate settles
+    if variant.assignment["platform"] == "bluefield":
+        return dict(measure=(8000.0 if fast else 20000.0) * 4)
+    return {}
 
 
-def projected_innova_study(fast=True, seed=42, jobs=None):
-    """§5.2/§6.2: how fast would a *full* Innova Lynx be?  The paper
-    projects that removing the prototype's limitations (UC rings + CPU
-    helper, RX only) unlocks the FPGA's headroom; we build that
-    configuration and measure the complete echo loop."""
-    result = ExperimentResult(
-        "ABL-IN", "Projected full-duplex Innova vs Bluefield (64B echo)",
-        "§5.2 projection")
-    measure = 8000.0 if fast else 20000.0
-    points = [
-        Point(("ABL-IN", "innova"), _innova_full_loop_point,
-              dict(measure=measure), root_seed=seed),
-        Point(("ABL-IN", "bluefield"), _innova_bluefield_point,
-              dict(measure=measure * 4), root_seed=seed),
-    ]
-    innova_rate, bf_rate = run_points(points, jobs=jobs)
-    result.add(platform="innova-projected (full loop)",
-               mpps=round(innova_rate / 1e6, 2),
-               vs_bluefield=None)
-    result.add(platform="bluefield (full loop)",
-               mpps=round(bf_rate / 1e6, 3),
-               vs_bluefield=round(innova_rate / bf_rate, 1))
-    result.note("the paper's RX-only measurement showed 15x headroom "
-                "(7.4M vs 0.5M pps); the projected full loop keeps a "
-                "large specialized-hardware advantage")
-    return result
+projected_innova_study = Campaign(
+    "ABL-IN", "Projected full-duplex Innova vs Bluefield (64B echo)",
+    "§5.2 projection",
+    scenario=_innova_scenario,
+    slug="projected_innova_study",
+    summary="§5.2/§6.2: the projected full Innova (no CPU helper, TX "
+            "in the AFU) vs Bluefield on the complete echo loop",
+    components=[Component(
+        "snic-platform",
+        [Knob("platform", values=("innova", "bluefield"),
+              baseline="bluefield", kwarg="platform",
+              doc="which SmartNIC terminates the echo loop; Bluefield "
+                  "is what the paper ships, the projected Innova is "
+                  "the §5.2 what-if")])],
+    settings=lambda fast: dict(measure=8000.0 if fast else 20000.0),
+    row=_innova_row,
+    metric="mpps",
+    point_kwargs=_innova_point_kwargs,
+    notes=("the paper's RX-only measurement showed 15x headroom "
+           "(7.4M vs 0.5M pps); the projected full loop keeps a "
+           "large specialized-hardware advantage",),
+)
 
 
 ALL_STUDIES = (gpu_centric_comparison, dispatch_policy_study,
@@ -471,10 +514,14 @@ ALL_STUDIES = (gpu_centric_comparison, dispatch_policy_study,
                projected_innova_study)
 
 
-def run(fast=True, seed=42):
+def run(fast=True, seed=42, jobs=None):
     """Aggregate ablation runner (one ExperimentResult per study)."""
-    merged = ExperimentResult("ABL", "Design-choice ablations", "DESIGN.md")
-    for study in ALL_STUDIES:
-        sub = study(fast=fast, seed=seed)
-        merged.note(sub.render())
-    return merged
+    outcomes = run_campaigns([c.exp_id for c in ALL_STUDIES], fast=fast,
+                             seed=seed, jobs=jobs)
+    return merged_result(outcomes)
+
+
+# The study list is generated from the registry so it cannot drift from
+# the declarations above (it used to: the hand-written version listed
+# five of the eight studies).
+__doc__ += "\n\n" + describe(ALL_STUDIES)

@@ -6,8 +6,8 @@
 import os
 import sys
 
-from .scorecard import (load_results_metrics, render_scorecard,
-                        score_results_dir)
+from .scorecard import (load_results_campaign, load_results_metrics,
+                        render_scorecard, score_results_dir)
 
 
 def main(argv=None):
@@ -15,7 +15,8 @@ def main(argv=None):
     results_dir = argv[0] if argv else os.path.join("benchmarks", "results")
     scores = score_results_dir(results_dir)
     metrics = load_results_metrics(results_dir)
-    print(render_scorecard(scores, metrics=metrics))
+    campaign = load_results_campaign(results_dir)
+    print(render_scorecard(scores, metrics=metrics, campaign=campaign))
     return 0
 
 

@@ -20,12 +20,17 @@ import os
 
 from ..errors import ConfigError
 from ..telemetry import materialize
-from ..telemetry.export import load_metrics
+from ..telemetry.export import load_campaign, load_metrics
 
 #: filename of the merged telemetry snapshot (written by
 #: ``python -m repro.experiments --metrics PATH``) the scorecard
 #: summarizes alongside the per-experiment grades
 METRICS_FILENAME = "metrics.json"
+
+#: filename of the campaign importance document (written by
+#: ``python -m repro.experiments campaign --out PATH``) rendered as the
+#: ranked per-component importance table
+CAMPAIGN_FILENAME = "campaign.json"
 
 MATCH_REL = 0.25
 NEAR_REL = 0.60
@@ -114,6 +119,74 @@ def load_results_metrics(results_dir):
     return load_metrics(path)
 
 
+def load_results_campaign(results_dir):
+    """The campaign importance document shipped with the results, or
+    ``None``.
+
+    Looks for ``campaign.json`` (see :data:`CAMPAIGN_FILENAME`) in
+    *results_dir*; validates the ``repro.campaign/1`` schema.
+    """
+    path = os.path.join(results_dir, CAMPAIGN_FILENAME)
+    if not os.path.isfile(path):
+        return None
+    return load_campaign(path)
+
+
+def _pct(value):
+    return "n/a" if value is None else "%+.1f%%" % (100.0 * value)
+
+
+def render_importance(campaigns):
+    """Ranked per-component importance table from campaign outcomes.
+
+    *campaigns* is a ``repro.campaign/1`` document (or just its
+    ``campaigns`` list).  Components rank by ``|importance|`` — the
+    mean signed relative change of the campaign's primary metric when
+    the component is ablated, oriented so positive means the baseline
+    setting wins.  Negative importance beyond the engine's threshold is
+    flagged HARMFUL: ablating (or re-tuning) that component *improved*
+    the metric, which is exactly the row a design review reads first.
+    The signal columns are raw relative telemetry deltas (ablated vs
+    baseline; positive = the ablated run measured higher).
+    """
+    if isinstance(campaigns, dict):
+        campaigns = campaigns.get("campaigns", [])
+    entries = []
+    for doc in campaigns:
+        metric = doc.get("metric") or "metric"
+        for imp in doc.get("importance", []):
+            entries.append((doc.get("exp_id", "?"), metric, imp))
+    entries.sort(key=lambda item: (item[2].get("importance") is None,
+                                   -abs(item[2].get("importance") or 0.0)))
+    lines = ["component importance (ranked by |importance|)",
+             "=" * 78]
+    if not entries:
+        lines.append("(no campaigns)")
+        return "\n".join(lines)
+    lines.append("%-8s %-16s %-20s %10s %9s %9s %9s %9s"
+                 % ("exp", "component", "knob", "importance",
+                    "goodput", "p99", "kevents", "burn"))
+    lines.append("-" * 78)
+    for exp_id, metric, imp in entries:
+        signals = imp.get("signals", {})
+        importance = imp.get("importance")
+        lines.append("%-8s %-16s %-20s %10s %9s %9s %9s %9s%s"
+                     % (exp_id, imp.get("component", "?"),
+                        imp.get("knob", "?"),
+                        "n/a" if importance is None
+                        else "%+.3f" % importance,
+                        _pct(signals.get("goodput")),
+                        _pct(signals.get("p99_us")),
+                        _pct(signals.get("kernel_events")),
+                        _pct(signals.get("core_burn")),
+                        "  HARMFUL" if imp.get("harmful") else ""))
+    lines.append("-" * 78)
+    lines.append("importance > 0: the baseline setting beats its "
+                 "ablations on the campaign's metric; HARMFUL: an "
+                 "ablation improved it")
+    return "\n".join(lines)
+
+
 def summarize_metrics(metrics):
     """Health summary rows from a merged telemetry snapshot.
 
@@ -163,11 +236,13 @@ def summarize_metrics(metrics):
     return rows
 
 
-def render_scorecard(scores, metrics=None):
+def render_scorecard(scores, metrics=None, campaign=None):
     """Printable scorecard with per-experiment and overall tallies.
 
     *metrics* (optional) is a merged telemetry snapshot — the decoded
     ``metrics.json`` — appended as a health-summary section.
+    *campaign* (optional) is a decoded ``repro.campaign/1`` document —
+    appended as the ranked component-importance table.
     """
     lines = ["reproduction scorecard", "=" * 60]
     tally = {"MATCH": 0, "NEAR": 0, "DEVIATES": 0}
@@ -189,4 +264,7 @@ def render_scorecard(scores, metrics=None):
         lines.append("-" * 60)
         for label, value in summarize_metrics(metrics):
             lines.append("%-44s %s" % (label, value))
+    if campaign:
+        lines.append("")
+        lines.append(render_importance(campaign))
     return "\n".join(lines)

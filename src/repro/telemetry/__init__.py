@@ -49,12 +49,21 @@ from .registry import (
     scope,
 )
 from .export import (
+    CAMPAIGN_SCHEMA,
     SCHEMA,
+    dump_campaign,
     dump_metrics,
+    dumps_campaign,
     dumps_metrics,
     format_kernel_stats,
     format_snapshot,
+    load_campaign,
     load_metrics,
+)
+from .diff import (
+    diff_snapshots,
+    relative_delta,
+    scalar_of,
 )
 
 __all__ = [
@@ -63,8 +72,10 @@ __all__ = [
     "materialize",
     "MetricsRegistry", "registry", "push_scope", "pop_scope", "scope",
     "reset_scopes",
-    "SCHEMA", "dump_metrics", "dumps_metrics", "format_kernel_stats",
-    "format_snapshot", "load_metrics",
+    "SCHEMA", "CAMPAIGN_SCHEMA", "dump_metrics", "dumps_metrics",
+    "format_kernel_stats", "format_snapshot", "load_metrics",
+    "dump_campaign", "dumps_campaign", "load_campaign",
+    "diff_snapshots", "relative_delta", "scalar_of",
 ]
 
 

@@ -22,10 +22,18 @@ import math
 
 from .instruments import materialize
 
-__all__ = ["SCHEMA", "format_snapshot", "format_kernel_stats",
-           "dump_metrics", "dumps_metrics", "load_metrics"]
+__all__ = ["SCHEMA", "CAMPAIGN_SCHEMA", "format_snapshot",
+           "format_kernel_stats", "dump_metrics", "dumps_metrics",
+           "load_metrics", "dump_campaign", "dumps_campaign",
+           "load_campaign"]
 
 SCHEMA = "repro.telemetry/1"
+
+#: sibling schema for campaign runs (DESIGN.md §4.12): per-variant rows,
+#: stable run ids, and per-component importance scores derived from
+#: telemetry snapshot deltas.  Written by ``python -m repro.experiments
+#: campaign --out`` and consumed by the report scorecard.
+CAMPAIGN_SCHEMA = "repro.campaign/1"
 
 
 def _fmt_num(value):
@@ -132,12 +140,66 @@ def load_metrics(path_or_file):
 
     Raises ``ValueError`` on a missing or unknown ``schema`` tag.
     """
-    if hasattr(path_or_file, "read"):
-        doc = json.load(path_or_file)
-    else:
-        with open(path_or_file) as fh:
-            doc = json.load(fh)
+    doc = _load_json(path_or_file)
     schema = doc.get("schema") if isinstance(doc, dict) else None
     if schema != SCHEMA:
         raise ValueError("not a %s document (schema=%r)" % (SCHEMA, schema))
     return doc["metrics"]
+
+
+def _load_json(path_or_file):
+    if hasattr(path_or_file, "read"):
+        return json.load(path_or_file)
+    with open(path_or_file) as fh:
+        return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# repro.campaign/1
+# ---------------------------------------------------------------------------
+
+def dumps_campaign(campaigns, meta=None):
+    """Serialize campaign outcome documents to ``repro.campaign/1`` JSON.
+
+    *campaigns* is a list of per-campaign dicts (see
+    ``repro.experiments.campaign.CampaignOutcome.to_doc``); this layer
+    only owns the envelope, so the schema version lives next to its
+    ``repro.telemetry/1`` sibling.
+    """
+    doc = {"schema": CAMPAIGN_SCHEMA}
+    if meta:
+        doc["meta"] = dict(meta)
+    doc["campaigns"] = list(campaigns)
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def dump_campaign(campaigns, path, meta=None):
+    """Write the ``repro.campaign/1`` JSON document to *path*."""
+    with open(path, "w") as fh:
+        fh.write(dumps_campaign(campaigns, meta=meta))
+        fh.write("\n")
+
+
+def load_campaign(path_or_file):
+    """Load a campaign dump; returns the full document dict.
+
+    Validates the ``repro.campaign/1`` schema tag and the presence and
+    shape of the ``campaigns`` list (each entry must carry ``exp_id``,
+    ``variants``, and ``importance``); raises ``ValueError`` otherwise.
+    """
+    doc = _load_json(path_or_file)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema != CAMPAIGN_SCHEMA:
+        raise ValueError("not a %s document (schema=%r)"
+                         % (CAMPAIGN_SCHEMA, schema))
+    campaigns = doc.get("campaigns")
+    if not isinstance(campaigns, list):
+        raise ValueError("%s document lacks a campaigns list"
+                         % CAMPAIGN_SCHEMA)
+    for entry in campaigns:
+        missing = [k for k in ("exp_id", "variants", "importance")
+                   if k not in entry]
+        if missing:
+            raise ValueError("campaign entry %r lacks %s"
+                             % (entry.get("exp_id"), ", ".join(missing)))
+    return doc

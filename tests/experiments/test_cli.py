@@ -89,3 +89,49 @@ class TestMetricsFlag:
                   else "simulator kernel [%s backend]:" % backend)
         assert header in out
         assert "events processed" in out
+
+
+class TestCampaignSubcommand:
+    def test_list(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ABL-CO" in out and "ABL-GC" in out
+
+    def test_run_prints_tables_run_ids_and_importance(self, capsys):
+        assert main(["campaign", "ABL-CO", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "[ABL-CO]" in out
+        assert "(baseline)" in out
+        assert "component importance" in out
+        assert "coalescing" in out
+
+    def test_out_writes_loadable_document(self, capsys, tmp_path):
+        from repro.telemetry import load_campaign
+
+        path = tmp_path / "campaign.json"
+        assert main(["campaign", "ABL-CO", "--out", str(path)]) == 0
+        assert "campaign document written to" in capsys.readouterr().out
+        doc = load_campaign(str(path))
+        (entry,) = doc["campaigns"]
+        assert entry["exp_id"] == "ABL-CO"
+        assert entry["importance"][0]["knob"] == "coalescing"
+        assert doc["meta"]["seed"] == 42
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["campaign", "abl-co"]) == 0
+        assert "[ABL-CO]" in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "ABL-NO-SUCH"])
+
+    def test_fast_and_full_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "ABL-CO", "--fast", "--full"])
+
+    def test_scope_does_not_leak_into_root(self):
+        from repro import telemetry
+
+        root_before = len(telemetry.registry())
+        assert main(["campaign", "ABL-CO"]) == 0
+        assert len(telemetry.registry()) == root_before

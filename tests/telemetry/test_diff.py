@@ -1,0 +1,105 @@
+"""Snapshot diffing (repro/telemetry/diff.py)."""
+
+import pytest
+
+from repro.telemetry import LogHistogram, diff_snapshots, relative_delta, \
+    scalar_of
+
+
+def _hist_snap(values):
+    hist = LogHistogram()
+    for v in values:
+        hist.record(v)
+    return hist.snapshot()
+
+
+class TestScalarOf:
+    def test_counter_and_peak(self):
+        assert scalar_of({"kind": "counter", "value": 7}) == 7
+        assert scalar_of({"kind": "peak", "value": 3}) == 3
+
+    def test_labelled_sums_values(self):
+        snap = {"kind": "labelled", "values": {"a": 2, "b": 5}}
+        assert scalar_of(snap) == 7
+
+    def test_rate_uses_count(self):
+        assert scalar_of({"kind": "rate", "count": 9,
+                          "elapsed": 100.0}) == 9
+
+    def test_gauge_time_weighted_mean(self):
+        snap = {"kind": "gauge", "area": 50.0, "elapsed": 100.0, "max": 2.0}
+        assert scalar_of(snap) == pytest.approx(0.5)
+        assert scalar_of({"kind": "gauge", "area": 1.0, "elapsed": 0.0,
+                          "max": 0.0}) == 0.0
+
+    def test_histogram_p99(self):
+        snap = _hist_snap([10.0] * 99 + [1000.0])
+        hist = LogHistogram()
+        hist.merge(snap)
+        assert scalar_of(snap) == pytest.approx(hist.p99())
+
+    def test_empty_histogram_zero(self):
+        assert scalar_of(_hist_snap([])) == 0.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            scalar_of({"kind": "mystery"})
+
+
+class TestRelativeDelta:
+    def test_basic(self):
+        assert relative_delta(100.0, 110.0) == pytest.approx(0.10)
+        assert relative_delta(100.0, 90.0) == pytest.approx(-0.10)
+        assert relative_delta(-100.0, -90.0) == pytest.approx(0.10)
+
+    def test_undefined_cases_none(self):
+        assert relative_delta(0, 5) is None
+        assert relative_delta(float("nan"), 5) is None
+        assert relative_delta(5, float("nan")) is None
+        assert relative_delta(None, 5) is None
+        assert relative_delta("x", 5) is None
+
+
+class TestDiffSnapshots:
+    def test_common_name_diffed(self):
+        base = {"a": {"kind": "counter", "value": 10}}
+        other = {"a": {"kind": "counter", "value": 15}}
+        diff = diff_snapshots(base, other)
+        entry = diff["a"]
+        assert entry["base"] == 10 and entry["other"] == 15
+        assert entry["delta"] == 5
+        assert entry["rel"] == pytest.approx(0.5)
+
+    def test_one_sided_names_diff_against_zero(self):
+        base = {"only.base": {"kind": "counter", "value": 4}}
+        other = {"only.other": {"kind": "counter", "value": 6}}
+        diff = diff_snapshots(base, other)
+        assert diff["only.base"]["delta"] == -4
+        assert diff["only.other"]["delta"] == 6
+        assert diff["only.other"]["rel"] is None  # zero baseline
+
+    def test_prefix_filter(self):
+        base = {"net.a": {"kind": "counter", "value": 1},
+                "sim.b": {"kind": "counter", "value": 2}}
+        diff = diff_snapshots(base, base, prefix="net")
+        assert set(diff) == {"net.a"}
+
+    def test_kind_clash_rejected(self):
+        base = {"a": {"kind": "counter", "value": 1}}
+        other = {"a": {"kind": "rate", "count": 1, "elapsed": 1.0}}
+        with pytest.raises(ValueError):
+            diff_snapshots(base, other)
+
+    def test_histogram_extras(self):
+        base = {"lat": _hist_snap([10.0] * 10)}
+        other = {"lat": _hist_snap([10.0] * 10 + [500.0] * 2)}
+        entry = diff_snapshots(base, other)["lat"]
+        assert entry["count"] == 2
+        assert entry["p99"] > 0
+        assert "p50" in entry
+
+    def test_first_seen_order_preserved(self):
+        base = {"z": {"kind": "counter", "value": 1},
+                "a": {"kind": "counter", "value": 1}}
+        other = {"m": {"kind": "counter", "value": 1}}
+        assert list(diff_snapshots(base, other)) == ["z", "a", "m"]

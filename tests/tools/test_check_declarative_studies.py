@@ -1,0 +1,99 @@
+"""The declarative-study lint (tools/check_declarative_studies.py)."""
+
+import importlib.util
+import os
+import textwrap
+
+_TOOL = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                     "tools", "check_declarative_studies.py")
+_spec = importlib.util.spec_from_file_location("check_declarative_studies",
+                                               _TOOL)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def write(tmp_path, relpath, body):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return str(path)
+
+
+class TestCheckModule:
+    def test_experiment_result_call_flagged(self, tmp_path):
+        path = write(tmp_path, "new_study.py", """\
+            from .base import ExperimentResult
+
+            def run(fast=True, seed=42):
+                result = ExperimentResult("X", "t", "ref")
+                return result
+            """)
+        findings = lint.check_module(path)
+        assert len(findings) == 1
+        assert "ExperimentResult" in findings[0][1]
+
+    def test_run_points_call_flagged(self, tmp_path):
+        path = write(tmp_path, "new_study.py", """\
+            from . import sweep
+
+            def run(points):
+                return sweep.run_points(points, jobs=2)
+            """)
+        findings = lint.check_module(path)
+        assert findings and "run_points" in findings[0][1]
+
+    def test_campaign_declarations_clean(self, tmp_path):
+        path = write(tmp_path, "new_study.py", """\
+            from .campaign import Campaign, Component, Knob
+
+            my_study = Campaign(
+                "X", "t", "ref", scenario=lambda seed=42: 1.0,
+                components=[Component("c", [Knob("k", values=(1, 2),
+                                                 kwarg="k")])])
+            """)
+        assert lint.check_module(path) == []
+
+    def test_allow_marker_suppresses(self, tmp_path):
+        path = write(tmp_path, "new_study.py", """\
+            from .base import ExperimentResult
+
+            def run():
+                return ExperimentResult("X", "t", "r")  # lint: allow-handwritten-study
+            """)
+        assert lint.check_module(path) == []
+
+
+class TestTreeWalk:
+    def test_grandfathered_modules_skipped(self, tmp_path):
+        for name in ("e01_invocation_overhead.py", "base.py", "sweep.py",
+                     "campaign.py", "common.py", "breakdown.py",
+                     "__main__.py", "__init__.py", "testbed.py"):
+            write(tmp_path, name, "x = 1\n")
+        write(tmp_path, "fresh_study.py", "y = 2\n")
+        found = [os.path.basename(p)
+                 for p in lint.iter_sources(str(tmp_path))]
+        assert found == ["fresh_study.py"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        write(tmp_path, "clean_study.py", "NAME = 'ok'\n")
+        assert lint.main([str(tmp_path)]) == 0
+        write(tmp_path, "dirty_study.py", """\
+            def run(points):
+                return run_points(points)
+            """)
+        assert lint.main([str(tmp_path)]) == 1
+        assert "dirty_study.py" in capsys.readouterr().out
+        assert lint.main([str(tmp_path / "nonexistent")]) == 2
+
+    def test_ablations_module_passes(self):
+        # the refactored ablations.py is deliberately NOT grandfathered:
+        # it is the proof the declarative path carries a real workload
+        experiments = os.path.join(os.path.dirname(_TOOL), os.pardir,
+                                   "src", "repro", "experiments")
+        paths = [os.path.basename(p)
+                 for p in lint.iter_sources(experiments)]
+        assert "ablations.py" in paths
+        findings = []
+        for path in lint.iter_sources(experiments):
+            findings.extend(lint.check_module(path))
+        assert findings == []

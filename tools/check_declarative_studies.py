@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Fail if new study modules hand-roll result loops instead of campaigns.
+
+DESIGN.md §4.12 moved the ablation studies onto the declarative
+campaign engine (``repro/experiments/campaign.py``): components declare
+knobs, the engine generates the grid, derives the seeds, fans out, and
+computes importance scores.  Before that, every new study copied ~60
+lines of ``ExperimentResult`` + ``run_points`` boilerplate — and the
+copies drifted (dropped ``jobs`` forwarding, stale docstrings, ad-hoc
+seeding).  This lint keeps the boilerplate from creeping back: *new*
+modules under ``repro/experiments/`` must not call
+``ExperimentResult(...)`` or ``run_points(...)`` directly — declare a
+:class:`Campaign` instead.
+
+The numbered paper experiments (``e01``–``e16``) and the harness
+plumbing predate the engine and are grandfathered; migrating them is
+ROADMAP work, not a lint failure.  A deliberate hand-written study can
+be marked with ``# lint: allow-handwritten-study`` on the offending
+line.
+
+Usage::
+
+    python tools/check_declarative_studies.py [EXPERIMENTS_DIR]
+"""
+
+import argparse
+import ast
+import os
+import re
+import sys
+
+ALLOW_MARKER = "lint: allow-handwritten-study"
+
+#: constructing results or fanning out points by hand is the campaign
+#: engine's job
+_HANDROLLED_CALLS = {"ExperimentResult", "run_points"}
+
+#: modules that predate the campaign engine (the numbered paper
+#: experiments are ROADMAP migration work) or *are* the harness
+_GRANDFATHERED = re.compile(
+    r"^(e\d{2}_.*|__init__|__main__|base|breakdown|campaign|common|sweep|"
+    r"testbed)$")
+
+
+def _call_name(node):
+    """Dotted-or-bare name of a Call's callee, or None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def check_module(path):
+    """Return [(lineno, message)] findings for one source file."""
+    with open(path) as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # pragma: no cover - repo must parse
+        return [(exc.lineno or 0, "syntax error: %s" % exc)]
+    lines = source.splitlines()
+
+    def allowed(lineno):
+        return 0 < lineno <= len(lines) and ALLOW_MARKER in lines[lineno - 1]
+
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _call_name(node)
+        if callee in _HANDROLLED_CALLS and not allowed(node.lineno):
+            findings.append(
+                (node.lineno,
+                 "hand-rolled %s(...) — declare a Campaign instead "
+                 "(repro/experiments/campaign.py)" % callee))
+    return findings
+
+
+def iter_sources(experiments_dir):
+    for filename in sorted(os.listdir(experiments_dir)):
+        if not filename.endswith(".py"):
+            continue
+        if _GRANDFATHERED.match(filename[:-3]):
+            continue
+        yield os.path.join(experiments_dir, filename)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments_dir", nargs="?",
+                        default=os.path.join("src", "repro", "experiments"))
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.experiments_dir):
+        print("no experiments directory at %r" % args.experiments_dir,
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in iter_sources(args.experiments_dir):
+        for lineno, message in check_module(path):
+            print("%s:%d: %s" % (path, lineno, message))
+            failures += 1
+    if failures:
+        print("\n%d hand-rolled study construct(s) found — new studies go "
+              "through the campaign registry (see DESIGN.md §4.12)"
+              % failures, file=sys.stderr)
+        return 1
+    print("all non-grandfathered study modules are declarative")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
