@@ -1,0 +1,26 @@
+"""Benchmark E17 — sustainable throughput at a p99 SLO, searched by
+bisection over the flyweight population plane (extension beyond the
+paper: the capacity-planning number behind Figs 8a/9)."""
+
+from repro.experiments import e17_slo_frontier as exp
+from repro.experiments.common import HOST_CENTRIC, LYNX_BLUEFIELD
+
+
+def test_e17_slo_frontier(run_experiment):
+    result = run_experiment(exp)
+    for workload in exp.WORKLOADS:
+        for design in (HOST_CENTRIC, LYNX_BLUEFIELD):
+            row = result.find(workload=workload, design=design)
+            assert row["sustainable_krps"] > 0
+            assert row["p99_at_knee_us"] <= row["slo_p99_us"]
+            assert row["goodput_at_knee"] >= exp.GOODPUT_FLOOR
+    # The paper's §6.3 story restated as a frontier: Lynx's GPU service
+    # sustains more load at the SLO than the host-centric baseline.
+    lenet = {d: result.find(workload="lenet", design=d)["sustainable_krps"]
+             for d in (HOST_CENTRIC, LYNX_BLUEFIELD)}
+    assert lenet[LYNX_BLUEFIELD] > lenet[HOST_CENTRIC]
+    # And §6.4's placement caution: under a tight tail SLO the host
+    # Xeon cores out-sustain the Bluefield ARM placement.
+    mc = {d: result.find(workload="memcached", design=d)["sustainable_krps"]
+          for d in (HOST_CENTRIC, LYNX_BLUEFIELD)}
+    assert mc[HOST_CENTRIC] > mc[LYNX_BLUEFIELD]

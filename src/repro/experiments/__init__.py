@@ -22,6 +22,7 @@ from . import (
     e14_vma_stack,
     e15_consistency_barrier,
     e16_faults,
+    e17_slo_frontier,
 )
 from .base import ExperimentResult
 from .testbed import Testbed
@@ -43,6 +44,7 @@ REGISTRY = {
     "E14": e14_vma_stack,
     "E15": e15_consistency_barrier,
     "E16": e16_faults,
+    "E17": e17_slo_frontier,
 }
 
 

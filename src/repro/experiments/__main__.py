@@ -147,10 +147,97 @@ def campaign_main(argv):
     return 0
 
 
+def slo_main(argv):
+    """The ``slo`` subcommand: one sustainable-load bisection.
+
+    Bisects offered λ for a (workload, design) pair under any arrival
+    shape the population plane speaks — including recorded traces via
+    ``--arrivals trace:<path>`` — and prints every probe plus the knee.
+    """
+    from . import e17_slo_frontier as e17
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments slo",
+        description="Bisect offered load to the highest rate whose p99 "
+                    "meets an SLO (the E17 search, single point, "
+                    "DESIGN.md §4.13).")
+    parser.add_argument("--workload", choices=e17.WORKLOADS,
+                        default="memcached")
+    parser.add_argument("--design", choices=e17.DESIGNS,
+                        default="lynx-bluefield")
+    parser.add_argument("--arrivals", default="poisson", metavar="SPEC",
+                        help="arrival shape: poisson | onoff[:on_us,off_us] "
+                             "| diurnal[:period_us] | trace:<path> "
+                             "(.npy or CSV timestamps; the trace's shape "
+                             "is rescaled to each probed rate)")
+    parser.add_argument("--slo-us", type=float, default=None, metavar="US",
+                        help="p99 target (default: the workload's E17 "
+                             "target)")
+    parser.add_argument("--lo", type=float, default=None, metavar="RATE",
+                        help="bracket low end, requests/us")
+    parser.add_argument("--hi", type=float, default=None, metavar="RATE",
+                        help="bracket high end, requests/us")
+    parser.add_argument("--iters", type=int, default=7, metavar="N",
+                        help="bisection probes after the bracket ends "
+                             "(default 7)")
+    parser.add_argument("--measure", type=float, default=None, metavar="US",
+                        help="measure window per probe (default: the "
+                             "workload's full-preset window)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sim-backend", choices=BACKENDS, default=None,
+                        metavar="{heap,wheel}",
+                        help="event-scheduler backend (the knee is "
+                             "bit-identical across backends)")
+    args = parser.parse_args(argv)
+    if args.iters < 1:
+        parser.error("--iters must be >= 1")
+
+    warmup, measure = e17.WINDOWS_FULL[args.workload]
+    if args.measure is not None:
+        measure = args.measure
+        warmup = min(warmup, measure / 2.0)
+    telemetry.push_scope()
+    if args.sim_backend is not None:
+        configure_backend(args.sim_backend)
+    try:
+        start = time.time()
+        outcome = e17.measure_frontier(
+            args.workload, args.design, args.seed, warmup, measure,
+            args.iters, arrivals=args.arrivals, slo_us=args.slo_us,
+            lo=args.lo, hi=args.hi)
+        print("SLO frontier: %s on %s, arrivals=%s, p99 <= %gus"
+              % (args.workload, args.design, args.arrivals,
+                 outcome["slo_us"]))
+        print("%10s  %10s  %11s  %8s  %8s  %s"
+              % ("rate/us", "offered/s", "delivered/s", "p99 us",
+                 "goodput", "ok"))
+        for t in outcome["trials"]:
+            print("%10.4f  %10.0f  %11.0f  %8.1f  %8.3f  %s"
+                  % (t["rate_per_us"], t["offered_per_sec"],
+                     t["delivered_per_sec"], t["p_tail_us"],
+                     t["goodput_ratio"], "yes" if t["ok"] else "NO"))
+        if outcome["sustainable_per_sec"] > 0:
+            print("sustainable: %.0f req/s (p99 %.1fus at the knee, "
+                  "goodput %.3f)"
+                  % (outcome["sustainable_per_sec"],
+                     outcome["p99_at_knee_us"], outcome["goodput_at_knee"]))
+        else:
+            print("no sustainable rate in the bracket (lower --lo or "
+                  "relax --slo-us)")
+        print("(%.1fs)" % (time.time() - start))
+    finally:
+        if args.sim_backend is not None:
+            configure_backend(None)
+        telemetry.pop_scope()
+    return 0
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "slo":
+        return slo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the Lynx (ASPLOS'20) evaluation.")

@@ -5,7 +5,20 @@ from .network import Network
 from .stack import NetworkStack, TcpConnection
 from .rdma import RdmaEngine, QueuePair
 from .client import Client, OpenLoopGenerator, ClosedLoopGenerator
-from .arrivals import ArrivalProcess, OnOffBurst, Poisson, TraceReplay, Uniform
+from .arrivals import ArrivalProcess, OnOffBurst, Poisson, TraceReplay, \
+    Uniform, load_trace_timestamps
+from .population import (
+    ClientPopulation,
+    DiurnalPopulation,
+    Flow,
+    InFlightTable,
+    OnOffPopulation,
+    PayloadPool,
+    PoissonPopulation,
+    PopulationArrivals,
+    TracePopulation,
+    arrival_factory,
+)
 
 __all__ = [
     "Address",
@@ -26,4 +39,15 @@ __all__ = [
     "Poisson",
     "OnOffBurst",
     "TraceReplay",
+    "load_trace_timestamps",
+    "ClientPopulation",
+    "PopulationArrivals",
+    "PoissonPopulation",
+    "OnOffPopulation",
+    "DiurnalPopulation",
+    "TracePopulation",
+    "PayloadPool",
+    "Flow",
+    "InFlightTable",
+    "arrival_factory",
 ]

@@ -6,7 +6,48 @@ processes support the ablations (e.g. ring sizing under bursts) and
 downstream users with their own traces.
 """
 
+import csv
+import os
+
 from ..errors import ConfigError
+
+
+def load_trace_timestamps(path):
+    """Load arrival timestamps (us, ascending) from ``.npy`` or CSV.
+
+    ``.npy`` files hold a 1-D float array.  CSV/text files hold one
+    timestamp per row (a header row and extra columns are tolerated:
+    the first field of each row that parses as a float is taken).
+    Shared by :meth:`TraceReplay.from_file`, the population plane's
+    :class:`~repro.net.population.TracePopulation`, and the CLI's
+    ``--arrivals trace:<path>`` hook.
+    """
+    if not os.path.exists(path):
+        raise ConfigError("trace file not found: %s" % path)
+    if path.endswith(".npy"):
+        import numpy as np
+
+        stamps = np.load(path)
+        if stamps.ndim != 1:
+            raise ConfigError("trace %s: expected a 1-D array, got shape %r"
+                              % (path, stamps.shape))
+        return [float(t) for t in stamps]
+    stamps = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row:
+                continue
+            try:
+                stamps.append(float(row[0]))
+            except ValueError:
+                if stamps:
+                    raise ConfigError(
+                        "trace %s: unparsable timestamp %r after %d rows"
+                        % (path, row[0], len(stamps)))
+                # else: header row — skip
+    if len(stamps) < 2:
+        raise ConfigError("trace %s: needs at least two timestamps" % path)
+    return stamps
 
 
 class ArrivalProcess:
@@ -88,6 +129,15 @@ class OnOffBurst(ArrivalProcess):
 
 class TraceReplay(ArrivalProcess):
     """Replays recorded arrival timestamps (us, ascending), looping."""
+
+    @classmethod
+    def from_file(cls, path):
+        """Build a replay from a ``.npy`` or CSV timestamp file.
+
+        See :func:`load_trace_timestamps` for the accepted formats;
+        the CLI's ``--arrivals trace:<path>`` rides this loader.
+        """
+        return cls(load_trace_timestamps(path))
 
     def __init__(self, timestamps):
         stamps = list(timestamps)

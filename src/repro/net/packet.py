@@ -66,7 +66,7 @@ class Message:
     """An application message in flight."""
 
     __slots__ = ("msg_id", "src", "dst", "proto", "payload", "size",
-                 "created_at", "meta", "conn", "kind")
+                 "created_at", "_meta", "conn", "kind")
 
     def __init__(self, src, dst, payload, proto=UDP, created_at=0.0,
                  size=None, meta=None, conn=None, kind="request"):
@@ -77,9 +77,19 @@ class Message:
         self.payload = payload
         self.size = payload_size(payload) if size is None else size
         self.created_at = created_at
-        self.meta = meta or {}
+        self._meta = meta or None
         self.conn = conn
         self.kind = kind
+
+    @property
+    def meta(self):
+        """Per-message annotations, allocated on first touch — most
+        requests never carry any, and the vectorized traffic plane
+        creates messages by the hundred thousand."""
+        m = self._meta
+        if m is None:
+            m = self._meta = {}
+        return m
 
     @property
     def wire_size(self):

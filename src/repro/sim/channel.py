@@ -96,6 +96,9 @@ class Channel(Store):
         #: items pushed but not yet landed; FIFO matches fire order
         #: because every push on one channel defers the same latency
         self._in_flight = deque()
+        #: burst sizes of pending push_many() landings, FIFO with the
+        #: same ordering argument as _in_flight
+        self._burst_counts = deque()
         # Producer credits: slots claimed for transfers still in flight
         # plus items already buffered (the SNIC-side shadow-index view).
         self._claimed = 0
@@ -201,6 +204,58 @@ class Channel(Store):
             self.dropped += 1
             if self._tracer is not None:
                 self._tracer.emit(self.name, "drop", _msg_id(item))
+
+    def push_many(self, items, nbytes=0):
+        """Batched fire-and-forget: the burst rides ONE landing event.
+
+        The vectorized traffic plane's injection path (DESIGN.md
+        §4.13): where N ``push()`` calls cost N deferred landings plus
+        N ``StorePut`` completions, a burst of N items here costs one
+        deferred event, and when the sink is an idle plain FIFO (no
+        parked getters/putters, no tracer, room for the whole burst)
+        the landing is a single ``deque.extend``.  Any other sink state
+        falls back to the per-item landing loop, which preserves
+        ``push``'s exact drop-tail and getter-wake semantics item by
+        item.  *nbytes* is the byte total of the whole burst.
+        """
+        count = len(items)
+        if count == 0:
+            return
+        self.sent += count
+        self.bytes_moved += nbytes
+        self._in_flight.extend(items)
+        self._burst_counts.append(count)
+        self.env.defer(self.latency, self._land_many)
+
+    def _land_many(self, _event):
+        count = self._burst_counts.popleft()
+        sink = self._sink
+        stype = type(sink)
+        # Bulk only into an untraced plain FIFO: subclasses overriding
+        # the put path (PriorityStore ordering, traced instances) keep
+        # their per-item semantics via the _land fallback.
+        bulk_ok = (self._tracer is None
+                   and stype._push_item is Store._push_item
+                   and stype.try_put is Store.try_put
+                   and sink.__dict__.get("try_put") is None)
+        in_flight = self._in_flight
+        land = self._land
+        while count:
+            if (bulk_ok and not sink._getters and not sink._putters
+                    and len(sink._items) + count <= sink.capacity):
+                if len(in_flight) == count:
+                    sink._items.extend(in_flight)
+                    in_flight.clear()
+                else:
+                    popleft = in_flight.popleft
+                    sink._items.extend([popleft() for _ in range(count)])
+                sink.total_put += count
+                self.delivered += count
+                return
+            # Parked waiter, tight capacity, or a non-bulk sink: land
+            # one item the classic way and re-check.
+            land(_event)
+            count -= 1
 
     # -- producer credits (backpressure) -----------------------------------
 

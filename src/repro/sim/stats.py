@@ -49,6 +49,21 @@ class LatencyRecorder:
             return
         self._samples.append(value)
 
+    def record_many(self, values):
+        """Bulk-append latency samples (us); all dropped before ``start``.
+
+        The batched twin of :meth:`record` for vectorized producers
+        (the population traffic plane records whole response batches in
+        one call): the samples land in the same exact-sample list, so
+        percentiles and snapshots are identical to repeated
+        :meth:`record` calls.
+        """
+        if self.start is not None and self.env.now < self.start:
+            return
+        arr = np.asarray(values, dtype=float)
+        if arr.size:
+            self._samples.extend(arr.tolist())
+
     def reset(self, at_time=None):
         """Drop everything recorded so far (end of warmup).
 

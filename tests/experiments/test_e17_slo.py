@@ -1,0 +1,133 @@
+"""E17: sustainable-load bisection, frontier shape, and determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import e17_slo_frontier as e17
+from repro.experiments.common import HOST_CENTRIC, LYNX_BLUEFIELD
+from repro.experiments.slo import find_sustainable_load
+from repro.experiments.sweep import derive_seed
+from repro.sim import configure_backend
+
+
+def _step_trial(knee):
+    """A fake server: p99 is 10us below the knee, 10x the SLO above."""
+
+    def trial(rate, seed):
+        overloaded = rate > knee
+        return {"p_tail_us": 500.0 if overloaded else 10.0,
+                "offered_per_sec": rate * 1e6,
+                "delivered_per_sec": rate * 1e6 * (0.5 if overloaded
+                                                   else 1.0)}
+
+    return trial
+
+
+class TestFindSustainableLoad:
+    def test_bisects_to_the_knee(self):
+        found = find_sustainable_load(_step_trial(0.3), 0.1, 0.9, 50.0,
+                                      iters=8)
+        assert found.rate == pytest.approx(0.3, abs=(0.9 - 0.1) / 2 ** 8)
+        assert found.knee.ok and found.knee.p_tail == 10.0
+        assert found.per_sec == found.rate * 1e6
+        # bracket ends probed first, then the bisection probes
+        assert len(found.trials) == 2 + 8
+        assert found.trials[0].rate == 0.1
+        assert found.trials[1].rate == 0.9
+
+    def test_nothing_sustainable_returns_zero(self):
+        found = find_sustainable_load(_step_trial(0.05), 0.1, 0.9, 50.0,
+                                      iters=5)
+        assert found.rate == 0.0 and found.knee is None
+        # low end failed: no bisection probes were spent
+        assert len(found.trials) == 2
+
+    def test_whole_bracket_ok_returns_hi(self):
+        found = find_sustainable_load(_step_trial(2.0), 0.1, 0.9, 50.0,
+                                      iters=5)
+        assert found.rate == 0.9
+        assert len(found.trials) == 2
+
+    def test_goodput_floor_rejects_silent_droppers(self):
+        # p99 fine, but the server only answers half the offered load.
+        def trial(rate, seed):
+            return {"p_tail_us": 10.0, "offered_per_sec": rate * 1e6,
+                    "delivered_per_sec": rate * 5e5}
+
+        found = find_sustainable_load(trial, 0.1, 0.9, 50.0,
+                                      goodput_floor=0.98, iters=3)
+        assert found.rate == 0.0
+
+    def test_nan_tail_is_not_sustainable(self):
+        def trial(rate, seed):
+            return {"p_tail_us": float("nan"),
+                    "offered_per_sec": rate * 1e6,
+                    "delivered_per_sec": rate * 1e6}
+
+        found = find_sustainable_load(trial, 0.1, 0.9, 50.0, iters=3)
+        assert found.rate == 0.0
+
+    def test_trial_seeds_derived_from_index(self):
+        seeds = []
+
+        def trial(rate, seed):
+            seeds.append(seed)
+            return _step_trial(0.3)(rate, seed)
+
+        find_sustainable_load(trial, 0.1, 0.9, 50.0, iters=3, seed=7)
+        assert seeds == [derive_seed(7, ("slo-trial", i))
+                        for i in range(len(seeds))]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_bracket_validated(self):
+        with pytest.raises(ConfigError):
+            find_sustainable_load(_step_trial(0.3), 0.0, 0.9, 50.0)
+        with pytest.raises(ConfigError):
+            find_sustainable_load(_step_trial(0.3), 0.5, 0.5, 50.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Tiny windows + 3 bisection probes: shape/determinism, not accuracy.
+    return e17.run(fast=True, seed=42, measure=8000.0, iters=3, jobs=1)
+
+
+class TestShape:
+    def test_one_row_per_workload_and_design(self, result):
+        assert len(result.rows) == len(e17.WORKLOADS) * len(e17.DESIGNS)
+        for workload in e17.WORKLOADS:
+            for design in (HOST_CENTRIC, LYNX_BLUEFIELD):
+                row = result.find(workload=workload, design=design)
+                assert row["slo_p99_us"] == e17.SLO_US[workload]
+                assert row["trials"] >= 2
+                assert row["arrivals"] == "poisson"
+
+    def test_sustainable_rates_found(self, result):
+        for workload in e17.WORKLOADS:
+            for design in (HOST_CENTRIC, LYNX_BLUEFIELD):
+                row = result.find(workload=workload, design=design)
+                assert row["sustainable_krps"] > 0
+                assert row["p99_at_knee_us"] <= row["slo_p99_us"]
+                assert row["goodput_at_knee"] >= e17.GOODPUT_FLOOR
+
+
+class TestDeterminism:
+    def test_rows_bit_identical_across_jobs_and_backends(self, result):
+        # The E17 acceptance bar: --jobs 1/4 x heap/wheel all agree.
+        baseline = json.dumps(result.rows)
+        for jobs, backend in ((4, None), (1, "wheel"), (4, "wheel")):
+            configure_backend(backend)
+            try:
+                again = e17.run(fast=True, seed=42, measure=8000.0,
+                                iters=3, jobs=jobs)
+            finally:
+                configure_backend(None)
+            assert json.dumps(again.rows) == baseline, \
+                "E17 rows diverged at jobs=%s backend=%s" % (jobs, backend)
+
+    def test_different_seed_different_rows(self, result):
+        other = e17.run(fast=True, seed=43, measure=8000.0, iters=3,
+                        jobs=1)
+        assert json.dumps(other.rows) != json.dumps(result.rows)

@@ -69,6 +69,52 @@ class TestTraceReplay:
             TraceReplay([5.0, 1.0])
 
 
+class TestTraceFromFile:
+    def test_npy_round_trip(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "trace.npy")
+        np.save(path, np.array([0.0, 5.0, 7.0]))
+        proc = TraceReplay.from_file(path)
+        assert [proc.next_gap() for _ in range(4)] == [5.0, 2.0, 5.0, 2.0]
+
+    def test_csv_with_header_and_extra_columns(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp_us,flow\n0.0,a\n5.0,b\n7.0,a\n")
+        proc = TraceReplay.from_file(str(path))
+        assert [proc.next_gap() for _ in range(3)] == [5.0, 2.0, 5.0]
+
+    def test_bare_text_one_per_line(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1.5\n2.5\n10.0\n")
+        proc = TraceReplay.from_file(str(path))
+        assert proc.next_gap() == 1.0
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigError):
+            TraceReplay.from_file("/nonexistent/trace.csv")
+
+    def test_unparsable_row_after_data(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0\n2.0\noops\n")
+        with pytest.raises(ConfigError):
+            TraceReplay.from_file(str(path))
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("header\n1.0\n")
+        with pytest.raises(ConfigError):
+            TraceReplay.from_file(str(path))
+
+    def test_npy_rejects_2d(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "grid.npy")
+        np.save(path, np.zeros((2, 2)))
+        with pytest.raises(ConfigError):
+            TraceReplay.from_file(path)
+
+
 class TestGeneratorIntegration:
     def test_open_loop_with_custom_arrivals(self):
         from repro import Testbed

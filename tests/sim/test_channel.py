@@ -112,6 +112,74 @@ class TestPush:
         assert wire.dropped == 1
 
 
+class TestPushMany:
+    def test_burst_lands_in_order_after_latency(self, env):
+        sink = Channel(env, name="rx")
+        wire = Channel(env, name="wire", latency=3.0, sink=sink)
+        wire.push_many(["a", "b", "c"], nbytes=30)
+        assert sink.try_get() is None
+        env.run()
+        assert env.now == pytest.approx(3.0)
+        assert sink.recv_batch() == ["a", "b", "c"]
+        assert wire.sent == 3 and wire.delivered == 3
+        assert wire.bytes_moved == 30
+        assert sink.total_put == 3
+
+    def test_burst_wakes_a_parked_getter(self, env):
+        sink = Channel(env, name="rx")
+        wire = Channel(env, name="wire", latency=1.0, sink=sink)
+        got = []
+
+        def consumer(env):
+            item = yield sink.get()
+            got.append(item)
+
+        env.process(consumer(env))
+        wire.push_many(["a", "b", "c"])
+        env.run()
+        assert got == ["a"]
+        assert sink.recv_batch() == ["b", "c"]
+        assert wire.delivered == 3
+
+    def test_burst_drop_tail_on_tight_capacity(self, env):
+        sink = Channel(env, name="rx", capacity=2)
+        wire = Channel(env, name="wire", latency=1.0, sink=sink)
+        wire.push_many(["a", "b", "c", "d"])
+        env.run()
+        assert sink.recv_batch() == ["a", "b"]
+        assert wire.delivered == 2
+        assert wire.dropped == 2
+
+    def test_interleaves_fifo_with_push(self, env):
+        sink = Channel(env, name="rx")
+        wire = Channel(env, name="wire", latency=2.0, sink=sink)
+        wire.push("a")
+        wire.push_many(["b", "c"])
+        wire.push("d")
+        env.run()
+        assert sink.recv_batch() == ["a", "b", "c", "d"]
+
+    def test_empty_burst_is_a_no_op(self, env):
+        wire = Channel(env, name="wire", latency=1.0)
+        wire.push_many([])
+        env.run()
+        assert wire.sent == 0
+        assert env.now == 0.0
+
+    def test_traced_channel_falls_back_per_item(self, env):
+        env.tracer = Tracer(env, enabled=True)
+        try:
+            sink = Channel(env, name="rx2")
+            wire = Channel(env, name="wire2", latency=1.0, sink=sink)
+            wire.push_many(["a", "b"])
+            env.run()
+            events = [rec[2] for rec in env.tracer.filter(channel="wire2")]
+            assert events.count("deliver") == 2
+            assert sink.recv_batch() == ["a", "b"]
+        finally:
+            clear_enabled_tracers()
+
+
 class TestCredits:
     def test_try_claim_respects_capacity(self, env):
         ch = Channel(env, capacity=2)

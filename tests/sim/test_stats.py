@@ -44,6 +44,27 @@ class TestLatencyRecorder:
         assert set(summary) == {"count", "mean", "p50", "p90", "p99",
                                 "min", "max"}
 
+    def test_record_many_matches_repeated_record(self, env):
+        values = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0]
+        one = LatencyRecorder(env)
+        for v in values:
+            one.record(v)
+        many = LatencyRecorder(env)
+        many.record_many(np.array(values))
+        assert many._samples == one._samples
+        assert many.p99() == one.p99()
+        assert many.snapshot() == one.snapshot()
+
+    def test_record_many_respects_warmup_cut(self, env):
+        rec = LatencyRecorder(env, start=10.0)
+        rec.record_many([1.0, 2.0])   # env.now == 0 < start: dropped
+        assert rec.count == 0
+
+    def test_record_many_empty(self, env):
+        rec = LatencyRecorder(env)
+        rec.record_many([])
+        assert rec.count == 0
+
     def test_start_argument_drops_warmup_samples(self, env):
         # The docstring-promised warmup cut: samples recorded while
         # env.now < start never enter the recorder.
