@@ -1,6 +1,6 @@
 """Simulator-throughput benchmarks for the DES kernel fast path.
 
-Five measurements, written to ``benchmarks/results/kernel_throughput.json``:
+Six measurements, written to ``benchmarks/results/kernel_throughput.json``:
 
 * **kernel churn** — a pure event ping-pong through the run loop
   (pooled charges, no model code), reported as events/second from the
@@ -11,6 +11,10 @@ Five measurements, written to ``benchmarks/results/kernel_throughput.json``:
   table into vectorized deliveries.  Run as interleaved heap/wheel
   pairs and gated on the wheel:heap rate ratio (>= 2x, DESIGN.md
   §4.11) so the gate is immune to machine-speed drift;
+* **frame churn** — the frame-execution workload (DESIGN.md §4.14): a
+  synthetic data-plane op running a multi-stage grant+charge chain per
+  message, interleaved scalar/frame pairs on one backend, gated on the
+  frame:scalar message-rate ratio (>= 3x, machine-independent);
 * **E09 / E04 fast runs** — wall-clock of the two experiment runs the
   fast-path work targeted (LeNet serving and the Fig 6 saturation
   grid), compared against the pre-optimisation baseline.
@@ -30,7 +34,7 @@ import time
 
 import pytest
 
-from repro.sim import Environment, WheelEnvironment
+from repro.sim import Environment, Resource, WheelEnvironment, batchexec
 from repro.sim.channel import Channel
 
 from conftest import RESULTS_DIR, SEED
@@ -57,6 +61,11 @@ DEV_CHURN_WHEEL_EVENTS_PER_SEC = 1.15e6
 #: machine measured ~3.8x median over interleaved pairs; the gate
 #: keeps margin for noisy hosts).
 LANDING_RATIO_FLOOR = 2.0
+
+#: minimum frame:scalar message-rate ratio on the frame-execution
+#: workload (ISSUE 9 acceptance: >= 3.0x, machine-independent — both
+#: sides of each interleaved pair run back to back).
+FRAME_RATIO_FLOOR = 3.0
 
 RESULTS_PATH = os.path.join(RESULTS_DIR, "kernel_throughput.json")
 
@@ -118,6 +127,82 @@ def _landing_churn(env, horizon=5000.0):
             env.defer(1.0, pump)
 
     env.defer(1.0, pump)
+    env.run()
+    return env.kernel_stats()
+
+
+#: per-stage durations of the synthetic frame pipeline (span = 1.0us)
+FRAME_STAGES = (0.4, 0.3, 0.3)
+FRAME_MESSAGES = 20000
+
+
+class _FramePipelineOp:
+    """A synthetic data-plane op: each message runs a grant+charge
+    chain over :data:`FRAME_STAGES` on a serialized pool — six
+    scheduler events on the scalar oracle.  Under frame execution the
+    whole span coalesces into ONE completion event at the exact scalar
+    timestamp (``span_times`` + ``defer_at``), burning the other five
+    sequence numbers — the same turbo-step shape the real planes use.
+    """
+
+    __slots__ = ("env", "res", "left", "stage", "request")
+
+    def __init__(self, env, res, messages):
+        self.env = env
+        self.res = res
+        self.left = messages
+        self.stage = 0
+        self.request = None
+        env._kick(self._next)
+
+    def _next(self, _event):
+        if self.left <= 0:
+            return
+        env = self.env
+        res = self.res
+        if env.frame_exec:
+            times = batchexec.span_times(env.now, FRAME_STAGES)
+            if (batchexec.pool_ready(res)
+                    and batchexec.clear_span(env, times[-1])):
+                batchexec.seize(res)
+                batchexec.burn(env, 2 * len(FRAME_STAGES) - 1)
+                env.defer_at(times[-1], self._turbo_done)
+                return
+        self.stage = 0
+        self._request()
+
+    def _turbo_done(self, _event):
+        batchexec.unseize(self.res)
+        self.left -= 1
+        self.env.requests_completed += 1
+        self._next(_event)
+
+    def _request(self):
+        req = self.res.request(0)
+        self.request = req
+        req.callbacks.append(self._granted)
+
+    def _granted(self, _event):
+        self.env.charge(FRAME_STAGES[self.stage]).callbacks.append(
+            self._charged)
+
+    def _charged(self, _event):
+        self.request.release()
+        self.request = None
+        self.stage += 1
+        if self.stage < len(FRAME_STAGES):
+            self._request()
+        else:
+            self.left -= 1
+            self.env.requests_completed += 1
+            self._next(_event)
+
+
+def _frame_churn(env, frame, messages=FRAME_MESSAGES):
+    """Drain *messages* through the synthetic pipeline; kernel stats."""
+    env.frame_exec = frame
+    res = Resource(env, 1, name="frame-bench")
+    _FramePipelineOp(env, res, messages)
     env.run()
     return env.kernel_stats()
 
@@ -188,6 +273,42 @@ class TestKernelChurn:
             "landing burst churn: wheel only %.2fx the heap (floor %.1fx)"
             % (best_ratio, LANDING_RATIO_FLOOR))
 
+    def test_frame_execution_ratio(self):
+        """Interleaved scalar/frame pairs on the heap backend (so the
+        gain is frame execution alone, not the landing table); the gate
+        is the best per-pair message-rate ratio — machine-independent,
+        like the landing gate above."""
+        pairs = []
+        for _ in range(5):
+            scalar = _frame_churn(Environment(), frame=False)
+            framed = _frame_churn(Environment(), frame=True)
+            # Same simulated history either way: every message, and
+            # the same virtual span; only scheduler events collapse.
+            assert scalar["requests_completed"] == FRAME_MESSAGES
+            assert framed["requests_completed"] == FRAME_MESSAGES
+            assert framed["events_processed"] < scalar["events_processed"]
+            scalar_rate = FRAME_MESSAGES / scalar["wall_seconds"]
+            framed_rate = FRAME_MESSAGES / framed["wall_seconds"]
+            pairs.append((framed_rate / scalar_rate, scalar, framed))
+        pairs.sort(key=lambda p: p[0])
+        best_ratio, scalar, framed = pairs[-1]
+        _save("kernel_churn_frames", {
+            "messages": FRAME_MESSAGES,
+            "scalar_events_per_request": scalar["events_per_request"],
+            "frame_events_per_request": framed["events_per_request"],
+            "scalar_messages_per_second": round(
+                FRAME_MESSAGES / scalar["wall_seconds"]),
+            "frame_messages_per_second": round(
+                FRAME_MESSAGES / framed["wall_seconds"]),
+            "best_ratio": round(best_ratio, 2),
+            "median_ratio": round(pairs[len(pairs) // 2][0], 2),
+            "rounds": len(pairs),
+            "ratio_floor": FRAME_RATIO_FLOOR,
+        })
+        assert best_ratio >= FRAME_RATIO_FLOOR, (
+            "frame churn: frame execution only %.2fx the scalar chain "
+            "(floor %.1fx)" % (best_ratio, FRAME_RATIO_FLOOR))
+
 
 def _timed_run(module, rounds):
     from importlib import import_module
@@ -235,16 +356,21 @@ def _paired_speedup(module, baseline, rounds):
 #: The dev-machine speedups were 2.16x (E09) and 2.01x (E04); the
 #: asserted floors keep headroom below them because the calibration
 #: loop (a pure-python spin) cannot fully track machine state for the
-#: memory-bound E04 grid — interleaved A/B runs of the same tree swing
-#: by several percent on a busy host.  Measured on an *unmodified*
-#: baseline checkout, single E04 rounds range 1.73x-1.93x across a few
-#: minutes of drift, so the floor sits below the slow end of that band
-#: and three paired rounds keep the best-of from sampling only a slow
-#: phase.  The floor is the regression gate; the recorded JSON carries
-#: the actual measured speedup.
+#: memory-bound experiment runs — interleaved A/B runs of the same
+#: tree swing by several percent on a busy host.  Measured on an
+#: *unmodified* baseline checkout, single E04 rounds range
+#: 1.73x-1.93x and E09 gate runs range 1.66x-2.0x across a few
+#: minutes of drift (the same checkout fails a 1.9 floor in one
+#: minute and clears it the next; the low end lands when a CPU-turbo
+#: phase speeds the calibration spin more than the memory-bound sim),
+#: so each floor sits below the slow end of its band with margin —
+#: losing the PR-6 win would read ~1.0-1.2, far below either floor —
+#: and the paired rounds keep the best-of from sampling only a slow
+#: phase.  The floor is the regression gate; the recorded JSON
+#: carries the actual measured speedup.
 @pytest.mark.parametrize("module,baseline,rounds,floor", [
-    ("e09_fig8a_lenet", BASELINE_E09_SECONDS, 3, 1.9),
-    ("e04_fig6_throughput_grid", BASELINE_E04_SECONDS, 3, 1.65),
+    ("e09_fig8a_lenet", BASELINE_E09_SECONDS, 4, 1.6),
+    ("e04_fig6_throughput_grid", BASELINE_E04_SECONDS, 3, 1.6),
 ])
 def test_experiment_speedup(module, baseline, rounds, floor):
     """Fast-run wall-clock vs the recorded pre-PR baseline."""

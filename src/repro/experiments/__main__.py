@@ -167,7 +167,8 @@ def slo_main(argv):
                         default="lynx-bluefield")
     parser.add_argument("--arrivals", default="poisson", metavar="SPEC",
                         help="arrival shape: poisson | onoff[:on_us,off_us] "
-                             "| diurnal[:period_us] | trace:<path> "
+                             "| diurnal[:period_us] | bmodel[:b,levels] "
+                             "| trace:<path> "
                              "(.npy or CSV timestamps; the trace's shape "
                              "is rescaled to each probed rate)")
     parser.add_argument("--slo-us", type=float, default=None, metavar="US",

@@ -5,7 +5,8 @@ from .. import telemetry
 from ..apps.base import SpinApp
 from ..baseline import HostCentricServer
 from ..config import K40M
-from ..net import Address, ClosedLoopGenerator, OpenLoopGenerator
+from ..net import Address, ClientPopulation, ClosedLoopGenerator, Flow, \
+    OpenLoopGenerator, PayloadPool, PoissonPopulation
 from ..net.packet import UDP
 from .testbed import Testbed
 
@@ -81,6 +82,28 @@ def measure_saturation(dep, payload_fn, offered_per_sec, proto=UDP,
         meters.append(reg.get("net.client.%s.responses" % client.ip))
     dep.tb.warmup_then_measure(meters, warmup, measure)
     return sum(m.per_sec() for m in meters)
+
+
+def measure_population(dep, payload, rate_per_us, warmup=20000.0,
+                       measure=60000.0, timeout=None, source=None):
+    """Flyweight open-loop drive (DESIGN.md §4.13).
+
+    One :class:`ClientPopulation` offers Poisson load at *rate_per_us*
+    (or from an explicit arrival *source*), every request carrying
+    *payload*; returns the population with its measurement-window
+    instruments populated (``percentile``/``delivered_per_sec``).
+    Injection is frame-coalesced, so the load generator costs O(1)
+    scheduler events per burst instead of ~5 per request.
+    """
+    tb = dep.tb
+    if source is None:
+        source = PoissonPopulation(rate_per_us, tb.rng.stream("population"))
+    pop = ClientPopulation(tb.env, tb.network, "10.0.9.1", dep.address,
+                           [Flow("load", source, PayloadPool.single(payload))],
+                           timeout=timeout)
+    tb.warmup_then_measure([pop], warmup, measure)
+    pop.flush()
+    return pop
 
 
 def measure_closed_loop(dep, payload_fn, concurrency, proto=UDP,

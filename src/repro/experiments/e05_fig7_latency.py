@@ -1,12 +1,23 @@
 """E05 — Figure 7: latency of Lynx on Bluefield vs Lynx on 6 Xeon cores.
 
-Ping-pong latency (one outstanding request), 64B UDP messages, request
-runtimes 5..1600us.  The mqueue count {1, 120, 240} scales the
-round-robin bookkeeping both platforms do per message — "both platforms
-spend more time on handling multiple mqueues" — not the offered load.
-The paper reports Bluefield up to ~1.4x slower for the shortest
-requests, the gap vanishing for runtimes >= ~150-200us and staying
-within ~10%% once the mqueue sweep dominates on both platforms.
+64B UDP messages, request runtimes 5..1600us.  The mqueue count
+{1, 120, 240} scales the round-robin bookkeeping both platforms do per
+message — "both platforms spend more time on handling multiple mqueues"
+— not the offered load.  The paper reports Bluefield up to ~1.4x slower
+for the shortest requests, the gap vanishing for runtimes >=
+~150-200us and staying within ~10%% once the mqueue sweep dominates on
+both platforms.
+
+Two load shapes probe the same grid:
+
+* the **full** preset reproduces the paper's measurement — closed-loop
+  ping-pong with one outstanding request (``measure_closed_loop``);
+* the **fast** preset asks the production question instead — p50 under
+  *open-loop* Poisson load at ~25%% utilization, driven by a flyweight
+  :class:`~repro.net.population.ClientPopulation` whose frame-coalesced
+  injection keeps the grid cheap (DESIGN.md §4.13).  Light load keeps
+  p50 near the unloaded round trip, so the paper's slowdown bounds
+  still apply point for point.
 
 Absolute anchors (§6.2 text): with a zero-time kernel the end-to-end
 latency is ~25us via Bluefield and ~19us via the host, of which the
@@ -16,7 +27,8 @@ SNIC-side span is 14us vs 11us.
 from ..apps.base import SpinApp
 from ..net.packet import UDP
 from .base import ExperimentResult
-from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, measure_closed_loop
+from .common import LYNX_BLUEFIELD, LYNX_XEON_6, deploy, \
+    measure_closed_loop, measure_population
 from .sweep import Point, run_points
 
 RUNTIMES = (5.0, 20.0, 50.0, 200.0, 400.0, 800.0, 1600.0)
@@ -26,8 +38,16 @@ MESSAGE_BYTES = 64
 PAPER_E2E_BLUEFIELD_ZERO_KERNEL = 25.0
 PAPER_E2E_XEON_ZERO_KERNEL = 19.0
 
+#: fast preset: open-loop utilization target and the per-request
+#: service-time estimate its Little's-law rate computation uses
+POP_UTILIZATION = 0.25
+POP_BASE_OVERHEAD_US = 25.0
+#: fast preset: minimum expected responses per measurement window
+POP_MIN_SAMPLES = 100.0
+
 
 def _latency(design, runtime_us, n_mq, seed, measure):
+    """Full preset: the paper's closed-loop ping-pong measurement."""
     dep = deploy(design, app=SpinApp(runtime_us), n_mqueues=n_mq, proto=UDP,
                  seed=seed)
     _, latency = measure_closed_loop(
@@ -36,18 +56,32 @@ def _latency(design, runtime_us, n_mq, seed, measure):
     return latency.p50()
 
 
+def _population_latency(design, runtime_us, n_mq, seed, measure):
+    """Fast preset: p50 under flyweight open-loop production load."""
+    dep = deploy(design, app=SpinApp(runtime_us), n_mqueues=n_mq, proto=UDP,
+                 seed=seed)
+    service_us = runtime_us + POP_BASE_OVERHEAD_US
+    pop = measure_population(
+        dep, b"x" * MESSAGE_BYTES, POP_UTILIZATION / service_us,
+        warmup=10000.0,
+        measure=max(measure,
+                    POP_MIN_SAMPLES * service_us / POP_UTILIZATION))
+    return pop.percentile(50)
+
+
 def sweep_points(fast=True, seed=42, measure=None):
-    """One point per (platform, runtime, mqueue count) ping-pong."""
+    """One point per (platform, runtime, mqueue count)."""
     runtimes = (5.0, 200.0, 1600.0) if fast else RUNTIMES
     mq_counts = (1, 240) if fast else MQUEUE_COUNTS
     if measure is None:
         measure = 30000.0 if fast else 80000.0
+    probe = _population_latency if fast else _latency
     points = []
     for runtime_us in runtimes:
         for n_mq in mq_counts:
             for design in (LYNX_BLUEFIELD, LYNX_XEON_6):
                 points.append(Point(
-                    ("E05", design, runtime_us, n_mq), _latency,
+                    ("E05", design, runtime_us, n_mq), probe,
                     dict(design=design, runtime_us=runtime_us, n_mq=n_mq,
                          measure=measure),
                     root_seed=seed))

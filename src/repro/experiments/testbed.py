@@ -56,6 +56,15 @@ class Testbed:
         #: kernel backend: per-config override, else the process-wide
         #: selection (--sim-backend / $REPRO_SIM_BACKEND / heap)
         self.env = make_environment(backend=self.config.sim_backend)
+        #: frame-native execution: per-config override, else the
+        #: make_environment resolution ($REPRO_FRAME_EXEC / backend
+        #: default).  Channel tracing needs per-message events, so
+        #: --trace-channel forces the scalar oracle, exactly as it
+        #: disables the LandingTable bulk path.
+        if self.config.frame_exec is not None:
+            self.env.frame_exec = bool(self.config.frame_exec)
+        if self.config.trace:
+            self.env.frame_exec = False
         #: event tracer (enabled via SimConfig.trace) — installed on the
         #: environment *before* any Channel exists, so every hop built
         #: by this testbed picks it up at construction time

@@ -8,6 +8,7 @@ from .client import Client, OpenLoopGenerator, ClosedLoopGenerator
 from .arrivals import ArrivalProcess, OnOffBurst, Poisson, TraceReplay, \
     Uniform, load_trace_timestamps
 from .population import (
+    BModelPopulation,
     ClientPopulation,
     DiurnalPopulation,
     Flow,
@@ -45,6 +46,7 @@ __all__ = [
     "PoissonPopulation",
     "OnOffPopulation",
     "DiurnalPopulation",
+    "BModelPopulation",
     "TracePopulation",
     "PayloadPool",
     "Flow",

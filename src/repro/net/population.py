@@ -197,6 +197,49 @@ class DiurnalPopulation(PopulationArrivals):
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
 
 
+class BModelPopulation(DiurnalPopulation):
+    """Self-similar (b-model) arrivals: bursty at every timescale.
+
+    Wang et al.'s b-model generates the canonical self-similar traffic
+    profile by recursively splitting each interval's mass ``(b, 1-b)``
+    between its halves, with the heavy side chosen by a fair coin per
+    split (the randomized binomial-multiplicative cascade).  After
+    ``levels`` splits one period decomposes into ``2**levels`` equal
+    phases whose weights sum to 1 — bursts nest inside bursts, with
+    Hurst parameter ``H ~ 1 - log2(b^2 + (1-b)^2)/2``.  ``b = 0.5``
+    degenerates to plain Poisson; ``b -> 1`` concentrates the whole
+    period's load into one slot.
+
+    The resulting weight profile is a piecewise-constant rate envelope,
+    so segment generation rides :class:`DiurnalPopulation`'s exact
+    conditional-uniform machinery unchanged; the profile draws from
+    *stream* at construction, making a (seed, b, levels) triple fully
+    deterministic — what the golden tests pin.
+    """
+
+    def __init__(self, mean_rate_per_us, period_us, stream, b=0.7,
+                 levels=7, users=1):
+        if not 0.5 <= b < 1.0:
+            raise ConfigError("b-model bias must be in [0.5, 1.0)")
+        if not 1 <= levels <= 20:
+            raise ConfigError("b-model levels must be in [1, 20]")
+        weights = np.ones(1, dtype=float)
+        for _ in range(int(levels)):
+            heavy_left = stream.random(weights.size) < 0.5
+            left = np.where(heavy_left, b, 1.0 - b)
+            split = np.empty(weights.size * 2, dtype=float)
+            split[0::2] = weights * left
+            split[1::2] = weights * (1.0 - left)
+            weights = split
+        self.b = float(b)
+        self.levels = int(levels)
+        # weights sum to 1 by construction; scaling by the phase count
+        # gives a mean-1.0 envelope (DiurnalPopulation re-normalizes,
+        # which is a no-op here but keeps float round-off consistent).
+        super().__init__(mean_rate_per_us, period_us, stream,
+                         envelope=weights * weights.size, users=users)
+
+
 class TracePopulation(PopulationArrivals):
     """Replays recorded arrival timestamps, looping — the vectorized
     twin of :class:`~repro.net.arrivals.TraceReplay` (same repeating-gap
@@ -255,9 +298,10 @@ def arrival_factory(spec):
     """Parse an ``--arrivals`` spec into a ``make(rate, stream)`` factory.
 
     Specs: ``poisson`` | ``onoff[:on_us,off_us]`` | ``diurnal[:period_us]``
-    | ``trace:<path>`` — each yields a factory producing a
-    :class:`PopulationArrivals` whose long-run mean is the given rate,
-    so one spec serves every trial of a sustainable-load bisection.
+    | ``bmodel[:b[,levels]]`` | ``trace:<path>`` — each yields a factory
+    producing a :class:`PopulationArrivals` whose long-run mean is the
+    given rate, so one spec serves every trial of a sustainable-load
+    bisection.
     """
     if spec.startswith("trace:"):
         path = spec[len("trace:"):]
@@ -277,8 +321,15 @@ def arrival_factory(spec):
     if kind == "diurnal":
         period = float(args) if args else 100000.0
         return lambda rate, stream: DiurnalPopulation(rate, period, stream)
+    if kind == "bmodel":
+        parts = args.split(",") if args else []
+        b = float(parts[0]) if parts else 0.7
+        levels = int(parts[1]) if len(parts) > 1 else 7
+        return lambda rate, stream: BModelPopulation(
+            rate, 100000.0, stream, b=b, levels=levels)
     raise ConfigError("unknown arrivals spec %r (poisson | onoff[:on,off] | "
-                      "diurnal[:period] | trace:<path>)" % (spec,))
+                      "diurnal[:period] | bmodel[:b,levels] | trace:<path>)"
+                      % (spec,))
 
 
 class PayloadPool:

@@ -20,7 +20,9 @@ from .environment import (
     make_environment,
     merge_kernel_totals,
     reset_kernel_totals,
+    resolve_frame_exec,
 )
+from . import batchexec
 from .landing import LandingTable
 from .wheel import WheelEnvironment
 from .events import (
@@ -54,6 +56,8 @@ __all__ = [
     "kernel_totals",
     "merge_kernel_totals",
     "reset_kernel_totals",
+    "resolve_frame_exec",
+    "batchexec",
     "Event",
     "Timeout",
     "Charge",

@@ -25,6 +25,7 @@ a Channel leaves fixed-seed results bit-identical.
 from collections import deque
 
 from ..errors import CapacityError, SimulationError
+from .batchexec import burn, clear_span, ring_plain
 from .events import Event
 from .resources import Resource
 from .store import Store
@@ -356,6 +357,51 @@ class Channel(Store):
                 break
             out.append(item)
         return out
+
+    # -- frame handoff (DESIGN.md §4.14) -----------------------------------
+
+    def frame_pop(self):
+        """Inline pop in place of a ``get()`` event, when unobservable.
+
+        A ``get()`` with an item already buffered resolves at the
+        current instant anyway — pop + one resume event.  Under frame
+        execution, when the ring is on the plain Store fast path (no
+        tracer, no fault ``_land`` shadow, no parked waiters) and the
+        clear-span guard holds at ``now``, the consumer can pop inline,
+        burn the skipped resume's sequence number, and keep running.
+        Returns the item, or ``None`` when the hop must stay scalar —
+        callers fall back to ``yield self.get()`` (items are never
+        ``None``; ``put`` rejects it).
+        """
+        env = self.env
+        if (env.frame_exec and self._items
+                and ring_plain(self)
+                and clear_span(env, env.now)):
+            burn(env, 1)
+            return self._pop_item()
+        return None
+
+    def frame_push(self, item):
+        """Inline buffered put in place of a ``put()`` event.
+
+        The mirror of :meth:`frame_pop` for the producer side: a
+        ``put`` into a ring with room and no parked consumer buffers
+        the item and schedules one resume event.  Under the same
+        guards the producer buffers inline (with the same
+        ``total_put`` accounting) and burns the skipped sequence
+        number.  Returns False when the hop must stay scalar —
+        callers fall back to ``yield self.put(item)``.
+        """
+        env = self.env
+        if (env.frame_exec
+                and len(self._items) < self.capacity
+                and ring_plain(self)
+                and clear_span(env, env.now)):
+            self._push_item(item)
+            self.total_put += 1
+            burn(env, 1)
+            return True
+        return False
 
     # -- traced method shadows (installed per instance when tracing) -------
 

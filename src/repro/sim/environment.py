@@ -42,7 +42,8 @@ _POOL_CAP = 4096
 #: surfaced through the telemetry registry as ``sim.kernel.<key>``.
 _TOTAL_KEYS = (
     "events_processed", "processes_spawned", "tasks_spawned",
-    "charges_created", "charges_reused", "wall_seconds",
+    "charges_created", "charges_reused", "requests_completed",
+    "wall_seconds",
 )
 
 _PREFIX = "sim.kernel."
@@ -91,12 +92,35 @@ def make_environment(initial_time=0.0, backend=None):
     """
     name = backend if backend is not None else active_backend()
     if name == "heap":
-        return Environment(initial_time)
-    if name == "wheel":
+        env = Environment(initial_time)
+    elif name == "wheel":
         from .wheel import WheelEnvironment
-        return WheelEnvironment(initial_time)
-    raise SimulationError("unknown sim backend %r (choose from %s)"
-                          % (name, "/".join(BACKENDS)))
+        env = WheelEnvironment(initial_time)
+    else:
+        raise SimulationError("unknown sim backend %r (choose from %s)"
+                              % (name, "/".join(BACKENDS)))
+    env.frame_exec = resolve_frame_exec(name)
+    return env
+
+
+def resolve_frame_exec(backend, configured=None):
+    """Effective frame-execution setting for a *backend* environment.
+
+    Precedence mirrors the backend knob: an explicit *configured*
+    True/False (``SimConfig.frame_exec``) wins, then ``$REPRO_FRAME_EXEC``
+    (``1``/``0``), then the backend default — on for the wheel fast
+    path, off for heap golden runs.  Frame execution only coalesces
+    scheduler events; fixed-seed simulated results are bit-identical
+    either way (DESIGN.md §4.14).
+    """
+    if configured is not None:
+        return bool(configured)
+    raw = os.environ.get("REPRO_FRAME_EXEC", "").strip()
+    if raw in ("1", "true", "on", "yes"):
+        return True
+    if raw in ("0", "false", "off", "no"):
+        return False
+    return backend == "wheel"
 
 
 def kernel_totals():
@@ -118,6 +142,9 @@ def kernel_totals():
     totals["heap_peak"] = peak.value if peak is not None else 0
     wall = totals["wall_seconds"]
     totals["events_per_sec"] = totals["events_processed"] / wall if wall > 0 else 0.0
+    reqs = totals["requests_completed"]
+    totals["events_per_request"] = (
+        totals["events_processed"] / reqs if reqs > 0 else 0.0)
     totals["backend"] = active_backend()
     return totals
 
@@ -159,6 +186,13 @@ class Environment:
     #: scheduler backend name (subclasses override; see make_environment)
     backend = "heap"
 
+    #: frame-native execution of the data-plane hot loops (see
+    #: repro.sim.batchexec and DESIGN.md §4.14).  Class default keeps
+    #: direct ``Environment()`` construction on the scalar oracle;
+    #: :func:`make_environment` and testbeds resolve the effective
+    #: setting via :func:`resolve_frame_exec`.
+    frame_exec = False
+
     def __init__(self, initial_time=0.0):
         self.now = float(initial_time)
         # The shared trigger sites (Event.succeed, Store completions,
@@ -185,6 +219,9 @@ class Environment:
         self.tasks_spawned = 0
         self.charges_created = 0
         self.charges_reused = 0
+        #: completed request/response exchanges, bumped by the servers
+        #: at response-to-wire time; feeds ``events_per_request``.
+        self.requests_completed = 0
         self.heap_peak = 0
         self.wall_seconds = 0.0
         self._flushed = {key: 0 for key in _TOTAL_KEYS}
@@ -252,6 +289,32 @@ class Environment:
         eid = self._eid
         self._eid = eid + 1
         heappush(self._queue, (self.now + delay, priority, eid, event))
+        return event
+
+    def defer_at(self, when, callback, priority=NORMAL):
+        """Invoke *callback(event)* at absolute simulated time *when*.
+
+        The absolute-time twin of :meth:`defer`, for frame execution
+        (:mod:`repro.sim.batchexec`): a coalesced span must complete at
+        the exact float timestamp the scalar chain's sequential
+        additions produce, and ``defer(when - now)`` cannot guarantee
+        that — ``now + (when - now)`` need not round back to ``when``.
+        """
+        if when < self.now:
+            raise SimulationError("defer_at into the past: %r" % when)
+        pool = self._charge_pool
+        if pool:
+            event = pool.pop()
+            event._value = None
+            event.delay = when - self.now
+            self.charges_reused += 1
+        else:
+            event = Charge(self, when - self.now, None)
+            self.charges_created += 1
+        event.callbacks.append(callback)
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue, (when, priority, eid, event))
         return event
 
     def _kick(self, callback):
@@ -448,17 +511,21 @@ class Environment:
         itself, not the model.
         """
         wall = self.wall_seconds
+        reqs = self.requests_completed
         return {
             "backend": self.backend,
+            "frame_exec": self.frame_exec,
             "events_processed": self.events_processed,
             "processes_spawned": self.processes_spawned,
             "tasks_spawned": self.tasks_spawned,
             "charges_created": self.charges_created,
             "charges_reused": self.charges_reused,
+            "requests_completed": reqs,
             "charge_pool_size": len(self._charge_pool),
             "heap_peak": self.heap_peak,
             "wall_seconds": wall,
             "events_per_sec": self.events_processed / wall if wall > 0 else 0.0,
+            "events_per_request": self.events_processed / reqs if reqs > 0 else 0.0,
         }
 
     def _flush_totals(self):
@@ -479,6 +546,13 @@ class Environment:
                 reg.counter(_PREFIX + key).inc(delta)
                 flushed[key] = value
         reg.peak(_PREFIX + "heap_peak").record(self.heap_peak)
+        # Derived: events per completed request (the frame-execution
+        # figure of merit, DESIGN.md §4.14).  A ratio instrument, not a
+        # counter: the operands merge across workers and scopes, the
+        # ratio recomputes from them at snapshot time.
+        reg.ratio(_PREFIX + "events_per_request",
+                  _PREFIX + "events_processed",
+                  _PREFIX + "requests_completed")
 
 
 class _StopSimulation(Exception):

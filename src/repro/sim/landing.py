@@ -42,7 +42,13 @@ with the heap backend):
 * the bulk landing path replaces k no-op ``StorePut`` completion events
   (``try_put`` discards the event, so no callback can ever observe
   them) by consuming the same k sequence numbers and crediting the same
-  k processed events through one bare entry at the first eid.
+  k processed events through one bare entry at the first eid;
+* frame execution (DESIGN.md §4.14) stays sound above this table: an
+  open batch always keeps its flush entry in the schedule at the
+  batch's landing deadline, and later coalesced rows share that
+  deadline, so ``Environment.peek`` never exceeds the earliest staged
+  landing — the clear-span guard can never admit a turbo step across a
+  pending landing it cannot see.
 
 numpy is a hard dependency of the repo, but the table degrades
 gracefully: when numpy is unavailable, :func:`numpy_available` is False

@@ -292,6 +292,16 @@ class WheelEnvironment(Environment):
         else:
             heappush(self._overflow, (when, priority, eid, None, callback))
 
+    def defer_at(self, when, callback, priority=NORMAL):
+        """Absolute-time defer (see the heap twin): one bare 5-tuple
+        entry at exactly *when*, routed through the wheel's bucket
+        insert.  Frame execution's completion events land here."""
+        if when < self.now:
+            raise SimulationError("defer_at into the past: %r" % when)
+        eid = self._eid
+        self._eid = eid + 1
+        self._insert((when, priority, eid, None, callback))
+
     def _kick(self, callback):
         # Kicks fire at ``now``, which never precedes the live/drain
         # horizon — straight onto the live heap.

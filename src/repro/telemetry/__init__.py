@@ -31,12 +31,14 @@ See DESIGN.md §4.9 for the full contract.
 
 from .instruments import (
     Counter,
+    DerivedRatio,
     LabelledCounter,
     LogHistogram,
     PeakGauge,
     PullCounter,
     PullPeak,
     RateStat,
+    RatioHolder,
     TimeWeightedGauge,
     materialize,
 )
@@ -67,9 +69,9 @@ from .diff import (
 )
 
 __all__ = [
-    "Counter", "LabelledCounter", "LogHistogram", "PeakGauge",
-    "PullCounter", "PullPeak", "RateStat", "TimeWeightedGauge",
-    "materialize",
+    "Counter", "DerivedRatio", "LabelledCounter", "LogHistogram",
+    "PeakGauge", "PullCounter", "PullPeak", "RateStat", "RatioHolder",
+    "TimeWeightedGauge", "materialize",
     "MetricsRegistry", "registry", "push_scope", "pop_scope", "scope",
     "reset_scopes",
     "SCHEMA", "CAMPAIGN_SCHEMA", "dump_metrics", "dumps_metrics",

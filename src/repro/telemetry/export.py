@@ -107,6 +107,8 @@ def format_kernel_stats(stats):
         ("heap peak", "{:,}".format(stats.get("heap_peak", 0))),
         ("wall-clock in run()", "%.2f s" % stats.get("wall_seconds", 0.0)),
         ("events/sec", "{:,.0f}".format(stats.get("events_per_sec", 0.0))),
+        ("requests completed", "{:,}".format(stats.get("requests_completed", 0))),
+        ("events/request", "%.2f" % stats.get("events_per_request", 0.0)),
     ]
     width = max(len(label) for label, _ in rows)
     for label, value in rows:

@@ -170,6 +170,71 @@ class PullPeak:
         self._merged = 0
 
 
+class DerivedRatio:
+    """A ratio of two live readings, recomputed at snapshot time.
+
+    For derived metrics like ``sim.kernel.events_per_request`` whose
+    operands are themselves registered instruments: the operands merge
+    across workers, the ratio never does — ``merge`` is a no-op and the
+    live reading recomputes from the already-merged operands.  A
+    division by zero reports 0.0 (no requests yet).
+    """
+
+    kind = "ratio"
+    __slots__ = ("_num", "_den", "operands")
+
+    def __init__(self, num, den, operands=None):
+        self._num = num
+        self._den = den
+        #: ``(num_name, den_name)`` of registered operand instruments;
+        #: rides in the snapshot so a receiving registry can re-derive
+        #: the ratio from its own (merged) operands instead of holding
+        #: one worker's stale quotient.
+        self.operands = operands
+
+    @property
+    def value(self):
+        den = self._den()
+        return self._num() / den if den else 0.0
+
+    def snapshot(self):
+        snap = {"kind": "ratio", "value": self.value}
+        if self.operands:
+            snap["num"], snap["den"] = self.operands
+        return snap
+
+    def merge(self, snap):
+        pass
+
+    def reset(self, at_time=None):
+        pass
+
+
+class RatioHolder:
+    """Accumulator twin of :class:`DerivedRatio` (latest reading wins).
+
+    Materialized when a ratio snapshot arrives at a registry with no
+    live instrument under that name — e.g. a worker's dump loaded
+    standalone.  There are no operands to recompute from, so it simply
+    holds the most recent value.
+    """
+
+    kind = "ratio"
+    __slots__ = ("value",)
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def snapshot(self):
+        return {"kind": "ratio", "value": self.value}
+
+    def merge(self, snap):
+        self.value = snap["value"]
+
+    def reset(self, at_time=None):
+        self.value = 0.0
+
+
 class TimeWeightedGauge:
     """Tracks a piecewise-constant value; reports its time-weighted mean.
 
@@ -471,6 +536,7 @@ _ACCUMULATORS = {
     "gauge": TimeWeightedGauge,
     "rate": RateStat,
     "histogram": LogHistogram,
+    "ratio": RatioHolder,
 }
 
 

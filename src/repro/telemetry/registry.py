@@ -22,6 +22,7 @@ names, and device indices, which are unique by construction).
 
 from .instruments import (
     Counter,
+    DerivedRatio,
     LabelledCounter,
     LogHistogram,
     PeakGauge,
@@ -88,6 +89,23 @@ class MetricsRegistry:
         """Register a :class:`PullPeak` reading *fn()* at snapshot."""
         return self.register(name, PullPeak(fn))
 
+    def ratio(self, name, num, den):
+        """Get-or-create a :class:`DerivedRatio` of two counters by name.
+
+        *num* and *den* are the dotted names of counter instruments in
+        this registry (created on demand).  Get-or-create, not replace:
+        counter resets are in-place, so the existing instrument's
+        operand references stay valid.
+        """
+        inst = self._instruments.get(name)
+        if isinstance(inst, DerivedRatio):
+            return inst
+        n = self.counter(num)
+        d = self.counter(den)
+        return self.register(
+            name, DerivedRatio(lambda: n.value, lambda: d.value,
+                               operands=(num, den)))
+
     # -- access ------------------------------------------------------------
 
     def get(self, name, default=None):
@@ -131,6 +149,11 @@ class MetricsRegistry:
             inst = instruments.get(name)
             if inst is not None and inst.kind == snap["kind"]:
                 inst.merge(snap)
+            elif snap["kind"] == "ratio" and "num" in snap:
+                # Re-derive from this registry's own operands (which
+                # merge additively) instead of holding one incoming
+                # quotient — merged ratios are not sums of ratios.
+                self.ratio(name, snap["num"], snap["den"])
             else:
                 instruments[name] = materialize(snap)
 

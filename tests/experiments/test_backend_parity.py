@@ -4,7 +4,9 @@ The calendar-queue backend is only allowed to exist because it is
 observably identical to the heap: same result rows, same merged
 telemetry, same CLI output — at any worker count.  These tests pin that
 contract on real experiment workloads (E09 end-to-end; a reduced E04
-grid through the sweep executor).
+grid through the sweep executor).  Frame execution (DESIGN.md §4.14)
+rides the same contract on a second axis: scalar chains and coalesced
+frames must produce identical rows on either backend.
 """
 
 import contextlib
@@ -29,12 +31,18 @@ def _backend(name):
 
 
 #: merged-metrics keys that measure the host or the scheduler's own
-#: internals rather than the model; everything else must match exactly
+#: internals rather than the model; everything else must match exactly.
+#: ``events_processed``/``events_per_request`` are kernel internals too:
+#: frame execution (on by default for wheel, off for heap) coalesces
+#: scheduler events by design while leaving every model observable —
+#: including ``requests_completed`` — bit-identical (DESIGN.md §4.14).
 _HOST_KEYS = frozenset((
     "sim.kernel.wall_seconds",
     "sim.kernel.heap_peak",
     "sim.kernel.charges_created",
     "sim.kernel.charges_reused",
+    "sim.kernel.events_processed",
+    "sim.kernel.events_per_request",
 ))
 
 
@@ -71,6 +79,21 @@ class TestExperimentRows:
         with _backend("wheel"):
             wheel_rows = e09.run(fast=True, seed=42).rows
         assert heap_rows == wheel_rows
+
+    def test_e09_rows_identical_scalar_vs_frame_both_backends(
+            self, monkeypatch):
+        """The frame axis, explicitly: backend defaults already cross
+        scalar (heap) with frame (wheel), but each backend must also
+        match *itself* with frame execution flipped."""
+        rows = {}
+        for backend in ("heap", "wheel"):
+            for frame in ("0", "1"):
+                monkeypatch.setenv("REPRO_FRAME_EXEC", frame)
+                with _backend(backend):
+                    rows[(backend, frame)] = e09.run(fast=True, seed=42).rows
+        reference = rows[("heap", "0")]
+        for key, got in rows.items():
+            assert got == reference, key
 
 
 class TestSweepGrid:

@@ -90,6 +90,20 @@ class TestMetricsFlag:
         assert header in out
         assert "events processed" in out
 
+    def test_kernel_stats_reports_events_per_request(self, capsys):
+        # E05 drives real request planes; E01 is a micro-benchmark with
+        # no data plane, so its requests-completed is legitimately zero.
+        assert main(["E05", "--kernel-stats"]) == 0
+        out = capsys.readouterr().out
+        # An experiment that completes requests must report a non-zero
+        # events-per-request figure (DESIGN.md §4.14): the whole frame
+        # story is making this number drop.
+        line = next(ln for ln in out.splitlines() if "events/request" in ln)
+        assert float(line.split()[-1]) > 0
+        line = next(ln for ln in out.splitlines()
+                    if "requests completed" in ln)
+        assert int(line.split()[-1].replace(",", "")) > 0
+
 
 class TestCampaignSubcommand:
     def test_list(self, capsys):

@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.net import (
+    BModelPopulation,
     ClientPopulation,
     DiurnalPopulation,
     Flow,
@@ -108,6 +109,58 @@ class TestDiurnalPopulation:
                               envelope=(1.0, -0.5))
 
 
+class TestBModelPopulation:
+    def test_profile_is_a_conserving_cascade(self):
+        src = BModelPopulation(0.4, 8000.0, RngRegistry(8).stream("b"),
+                               b=0.7, levels=5)
+        assert len(src.envelope) == 32
+        assert sum(src.envelope) / len(src.envelope) == pytest.approx(1.0)
+        # every phase weight is 2^levels times a product of five
+        # factors, each 0.7 or 0.3 (the cascade conserves mass).
+        legal = {32 * 0.7 ** k * 0.3 ** (5 - k) for k in range(6)}
+        for w in src.envelope:
+            assert any(w == pytest.approx(v) for v in legal)
+
+    def test_half_bias_degenerates_to_uniform(self):
+        src = BModelPopulation(0.4, 8000.0, RngRegistry(9).stream("b"),
+                               b=0.5, levels=6)
+        assert len(src.envelope) == 64
+        assert all(w == pytest.approx(1.0) for w in src.envelope)
+
+    def test_burstier_than_poisson(self):
+        burst = BModelPopulation(0.5, 50000.0, RngRegistry(10).stream("b"),
+                                 b=0.85, levels=9)
+        pois = PoissonPopulation(0.5, RngRegistry(10).stream("p"))
+        edges = np.arange(0.0, 200000.0 + 1, 500.0)
+        bc = np.histogram(_take_all(burst, 200000.0), bins=edges)[0]
+        pc = np.histogram(_take_all(pois, 200000.0), bins=edges)[0]
+        # index of dispersion: ~1 for Poisson, >> 1 for the cascade
+        assert bc.var() / bc.mean() > 5 * (pc.var() / pc.mean())
+
+    def test_golden_seed(self):
+        # Pins the (seed, b, levels) -> arrivals mapping bit-exactly:
+        # both the cascade's coin flips and the conditional-uniform
+        # draws come from the named stream, so these floats are part
+        # of the reproducibility contract.
+        src = BModelPopulation(0.5, 4096.0, RngRegistry(11).stream("b"),
+                               b=0.75, levels=4)
+        assert list(src.envelope[:4]) == [0.5625, 0.1875, 0.1875, 0.0625]
+        times = src.take(0.0, 4096.0)
+        assert times.size == 1989
+        assert list(times[:3]) == [3.8965489205741335, 6.467513872941964,
+                                   19.458469267634797]
+        assert times[-1] == 4095.822677496598
+
+    def test_validates_parameters(self):
+        with pytest.raises(ConfigError):
+            BModelPopulation(0.5, 1000.0, RngRegistry(0).stream("b"), b=1.0)
+        with pytest.raises(ConfigError):
+            BModelPopulation(0.5, 1000.0, RngRegistry(0).stream("b"), b=0.3)
+        with pytest.raises(ConfigError):
+            BModelPopulation(0.5, 1000.0, RngRegistry(0).stream("b"),
+                             levels=0)
+
+
 class TestTracePopulation:
     def test_matches_scalar_trace_replay(self):
         stamps = [0.0, 5.0, 7.0, 20.0]
@@ -147,6 +200,12 @@ class TestArrivalFactory:
         diurnal = arrival_factory("diurnal:5000")(0.5, stream)
         assert isinstance(diurnal, DiurnalPopulation)
         assert diurnal.period == 5000.0
+        bmodel = arrival_factory("bmodel:0.8,5")(0.5, stream)
+        assert isinstance(bmodel, BModelPopulation)
+        assert (bmodel.b, bmodel.levels) == (0.8, 5)
+        default = arrival_factory("bmodel")(0.5, stream)
+        assert (default.b, default.levels) == (0.7, 7)
+        assert default.mean_rate == pytest.approx(0.5)
 
     def test_trace_spec(self, tmp_path):
         path = tmp_path / "t.csv"

@@ -6,12 +6,14 @@ import pytest
 
 from repro.telemetry import (
     Counter,
+    DerivedRatio,
     LabelledCounter,
     LogHistogram,
     PeakGauge,
     PullCounter,
     PullPeak,
     RateStat,
+    RatioHolder,
     TimeWeightedGauge,
     materialize,
 )
@@ -172,3 +174,51 @@ class TestMaterialize:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             materialize({"kind": "sparkline"})
+
+
+class TestDerivedRatio:
+    def test_recomputes_from_live_operands(self):
+        num, den = Counter(), Counter()
+        r = DerivedRatio(lambda: num.value, lambda: den.value,
+                         operands=("a.events", "a.requests"))
+        num.inc(12)
+        den.inc(4)
+        assert r.value == 3.0
+        num.inc(6)
+        assert r.value == 4.5
+
+    def test_zero_denominator_reports_zero(self):
+        r = DerivedRatio(lambda: 7, lambda: 0)
+        assert r.value == 0.0
+
+    def test_snapshot_carries_operand_names(self):
+        r = DerivedRatio(lambda: 6, lambda: 2,
+                         operands=("a.events", "a.requests"))
+        assert r.snapshot() == {"kind": "ratio", "value": 3.0,
+                                "num": "a.events", "den": "a.requests"}
+
+    def test_merge_is_a_noop(self):
+        # Merged ratios are not sums of ratios; the registry re-derives
+        # from the merged operand counters instead.
+        num = Counter()
+        num.inc(6)
+        r = DerivedRatio(lambda: num.value, lambda: 2)
+        r.merge({"kind": "ratio", "value": 99.0})
+        assert r.value == 3.0
+
+
+class TestRatioHolder:
+    def test_latest_reading_wins(self):
+        h = RatioHolder(3.0)
+        h.merge({"kind": "ratio", "value": 5.5})
+        assert h.value == 5.5
+
+    def test_materialized_from_snapshot_without_operands(self):
+        h = materialize({"kind": "ratio", "value": 2.5})
+        assert isinstance(h, RatioHolder)
+        assert h.value == 2.5
+
+    def test_reset(self):
+        h = RatioHolder(9.0)
+        h.reset()
+        assert h.value == 0.0

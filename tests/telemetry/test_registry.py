@@ -134,3 +134,35 @@ class TestScopes:
             reg.counter("helper.n").inc(2)
             snap = telemetry.snapshot("helper")
         assert snap == {"helper.n": {"kind": "counter", "value": 2}}
+
+
+class TestRatioMerge:
+    def test_worker_ratio_rederives_from_merged_operands(self):
+        # A worker ships counters + a derived ratio; the parent merges
+        # the counters additively and must recompute the ratio from its
+        # own (merged) operands, not hold the worker's stale quotient.
+        worker = MetricsRegistry()
+        worker.counter("k.events").inc(60)
+        worker.counter("k.requests").inc(10)
+        worker.ratio("k.events_per_request", "k.events", "k.requests")
+
+        parent = MetricsRegistry()
+        parent.counter("k.events").inc(40)
+        parent.counter("k.requests").inc(10)
+        parent.merge(worker.snapshot())
+        assert parent.get("k.events").value == 100
+        assert parent.get("k.events_per_request").value == 5.0
+
+    def test_ratio_without_operands_materializes_holder(self):
+        parent = MetricsRegistry()
+        parent.merge({"lone.ratio": {"kind": "ratio", "value": 4.2}})
+        assert parent.get("lone.ratio").value == 4.2
+
+    def test_ratio_is_get_or_create(self):
+        reg = MetricsRegistry()
+        first = reg.ratio("r", "n", "d")
+        reg.counter("n").inc(8)
+        reg.counter("d").inc(2)
+        second = reg.ratio("r", "n", "d")
+        assert first is second
+        assert second.value == 4.0
