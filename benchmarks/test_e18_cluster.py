@@ -1,0 +1,21 @@
+"""Benchmark E18 — multi-rack cluster scale-out behind a SmartNIC L4
+VIP (extension beyond the paper: the Lovelock-style cluster tier of
+DESIGN.md §4.15)."""
+
+from repro.experiments import e18_cluster as exp
+
+
+def test_e18_cluster_scaleout(run_experiment):
+    result = run_experiment(exp)
+    # Queue-aware steering beats the depth-blind rotation on the tail.
+    p2c = result.find(variant="baseline")
+    rr = result.find(variant="policy=round_robin")
+    assert p2c["p99_us"] < rr["p99_us"]
+    # A quarter of the replicas cannot carry the same offered load.
+    small = result.find(variant="nodes=2")
+    assert small["goodput_krps"] < p2c["goodput_krps"]
+    assert small["p99_us"] > p2c["p99_us"]
+    # The rack-1 outage degrades but never zeroes the cluster.
+    fo = result.find(variant="failover=True")
+    assert 0 < fo["goodput_krps"] < p2c["goodput_krps"]
+    assert fo["rack_down_drops"] > 0

@@ -95,7 +95,7 @@ class MemcachedServer:
     """The network-facing server bound to a platform's cores + stack."""
 
     def __init__(self, env, nic, pool, stack_profile, port=11211,
-                 op_cost=None, timings=DEFAULT_APP_TIMINGS,
+                 op_cost=None, op_cost_fn=None, timings=DEFAULT_APP_TIMINGS,
                  memory_intensity=0.25, working_set=0, name=None):
         self.env = env
         self.nic = nic
@@ -112,6 +112,10 @@ class MemcachedServer:
                        if "arm" in pool.profile.name
                        else timings.memcached_op_xeon)
         self.op_cost = op_cost
+        #: optional per-request cost: ``op_cost_fn(msg, result) -> us``
+        #: (heterogeneous service times, e.g. value-size-dependent ops
+        #: in the cluster tier); ``None`` keeps the flat calibrated cost
+        self.op_cost_fn = op_cost_fn
         self.memory_intensity = memory_intensity
         self.working_set = working_set
         self.ops = RateMeter(env, name="%s-ops" % self.name)
@@ -130,7 +134,8 @@ class MemcachedServer:
             # The dict op itself plus the request parse: calibrated
             # cost, with the LLC pressure of a large working set.
             yield from self.pool.run_calibrated(
-                self.op_cost,
+                self.op_cost_fn(msg, result) if self.op_cost_fn is not None
+                else self.op_cost,
                 memory_intensity=self.memory_intensity,
                 working_set=self.working_set)
             response = msg.reply(result, created_at=self.env.now)

@@ -23,6 +23,7 @@ from . import (
     e15_consistency_barrier,
     e16_faults,
     e17_slo_frontier,
+    e18_cluster,
 )
 from .base import ExperimentResult
 from .testbed import Testbed
@@ -45,6 +46,7 @@ REGISTRY = {
     "E15": e15_consistency_barrier,
     "E16": e16_faults,
     "E17": e17_slo_frontier,
+    "E18": e18_cluster,
 }
 
 

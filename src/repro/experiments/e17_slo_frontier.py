@@ -40,7 +40,7 @@ from ..net import Address, ClientPopulation, Flow, PayloadPool, \
 from .base import ExperimentResult
 from .common import HOST_CENTRIC, LYNX_BLUEFIELD, deploy
 from .slo import find_sustainable_load
-from .sweep import Point, run_points
+from .sweep import Point, derive_seed, run_points
 from .testbed import Testbed
 
 WORKLOADS = ("memcached", "lenet")
@@ -145,12 +145,23 @@ def measure_frontier(workload, design, seed, warmup, measure, iters,
     found = find_sustainable_load(trial, lo, hi, slo_us,
                                   goodput_floor=GOODPUT_FLOOR, iters=iters,
                                   seed=seed)
+    widened = False
+    if found.bracket_saturated:
+        # The whole bracket sustained: the knee lies above hi.  Widen
+        # once — re-search [hi, 4*hi] — so the reported rate is a real
+        # knee, not an artifact of a too-narrow bracket.
+        widened = True
+        found = find_sustainable_load(
+            trial, hi, 4.0 * hi, slo_us, goodput_floor=GOODPUT_FLOOR,
+            iters=iters, seed=derive_seed(seed, "slo-widen"))
     knee = found.knee
     return {
         "sustainable_per_sec": found.per_sec,
         "slo_us": slo_us,
         "p99_at_knee_us": knee.p_tail if knee is not None else None,
         "goodput_at_knee": knee.goodput_ratio if knee is not None else None,
+        "bracket_saturated": found.bracket_saturated,
+        "bracket_widened": widened,
         "trials": [t.as_dict() for t in found.trials],
     }
 

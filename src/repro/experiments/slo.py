@@ -63,9 +63,11 @@ class TrialResult:
 class SustainableLoad:
     """The outcome of one :func:`find_sustainable_load` search."""
 
-    __slots__ = ("rate", "knee", "trials", "slo_us", "percentile")
+    __slots__ = ("rate", "knee", "trials", "slo_us", "percentile",
+                 "bracket_saturated")
 
-    def __init__(self, rate, knee, trials, slo_us, percentile):
+    def __init__(self, rate, knee, trials, slo_us, percentile,
+                 bracket_saturated=False):
         #: highest sustainable offered rate (requests/us); 0.0 when
         #: even the bracket's low end violated the SLO
         self.rate = rate
@@ -75,6 +77,10 @@ class SustainableLoad:
         self.trials = trials
         self.slo_us = slo_us
         self.percentile = percentile
+        #: True when the whole bracket sustained the SLO — ``rate`` is
+        #: then only a lower bound and the caller should widen the
+        #: bracket and re-search
+        self.bracket_saturated = bracket_saturated
 
     @property
     def per_sec(self):
@@ -100,7 +106,9 @@ def find_sustainable_load(trial, lo, hi, slo_us, percentile=99.0,
     ``offered_per_sec``, and ``delivered_per_sec``.  The bracket ends
     are probed first (so the returned trial list documents both
     extremes), then *iters* bisection probes narrow the knee; the
-    returned rate carries ~``(hi-lo)/2**iters`` resolution.
+    returned rate carries ~``(hi-lo)/2**iters`` resolution.  When even
+    ``hi`` sustains, the result's ``bracket_saturated`` flag is set and
+    ``rate`` is only a lower bound — widen the bracket and re-search.
     """
     if lo <= 0 or hi <= lo:
         raise ConfigError("bisection bracket must satisfy 0 < lo < hi")
@@ -125,9 +133,10 @@ def find_sustainable_load(trial, lo, hi, slo_us, percentile=99.0,
     if low.ok:
         best = low
     if high.ok:
-        # The whole bracket sustains: report the top end (callers
-        # should widen the bracket — noted in the trial list).
-        return SustainableLoad(hi, high, trials, slo_us, percentile)
+        # The whole bracket sustains: report the top end as a lower
+        # bound and flag it so callers can widen the bracket.
+        return SustainableLoad(hi, high, trials, slo_us, percentile,
+                               bracket_saturated=True)
     if not low.ok:
         # Even the low end violates the SLO: nothing sustainable here.
         return SustainableLoad(0.0, None, trials, slo_us, percentile)

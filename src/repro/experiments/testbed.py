@@ -19,7 +19,7 @@ from ..config import (
 from ..errors import ConfigError
 from ..hw import BluefieldSNIC, InnovaSNIC, IntelVCA, Machine
 from ..lynx import LynxRuntime, LynxServer
-from ..net import Client, Network
+from ..net import Client, MultiRackNetwork, Network
 from ..sim import RngRegistry, Tracer, make_environment
 
 
@@ -44,12 +44,13 @@ def active_config():
 
 
 class Testbed:
-    """One simulated rack."""
+    """One simulated rack — or, with ``racks=N``, a multi-rack cluster."""
 
     #: not a pytest test class, despite the name
     __test__ = False
 
-    def __init__(self, config=None, seed=None):
+    def __init__(self, config=None, seed=None, racks=None,
+                 oversubscription=1.0):
         self.config = config or _active_config or DEFAULT_CONFIG
         if seed is not None:
             self.config = self.config.with_(seed=seed)
@@ -71,7 +72,14 @@ class Testbed:
         self.tracer = Tracer(self.env, enabled=self.config.trace)
         self.env.tracer = self.tracer
         self.rng = RngRegistry(self.config.seed)
-        self.network = Network(self.env)
+        #: single-switch fabric by default; ``racks=N`` swaps in the
+        #: multi-rack spine fabric (DESIGN.md §4.15) before any
+        #: endpoint attaches, so every wire is built on it
+        if racks is None:
+            self.network = Network(self.env)
+        else:
+            self.network = MultiRackNetwork(
+                self.env, racks=racks, oversubscription=oversubscription)
         self.machines = {}
         self.clients = {}
 

@@ -14,6 +14,7 @@ from .schedule import (
     FaultSpec,
     LinkCorruption,
     LinkLoss,
+    RackFailure,
     RxRingStall,
     SnicPause,
     SnicRestart,
@@ -26,6 +27,7 @@ __all__ = [
     "FaultSpec",
     "LinkCorruption",
     "LinkLoss",
+    "RackFailure",
     "RxRingStall",
     "SnicPause",
     "SnicRestart",

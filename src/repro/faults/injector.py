@@ -38,6 +38,7 @@ from .schedule import (
     FaultSchedule,
     LINK_CORRUPTION,
     LINK_LOSS,
+    RACK_FAILURE,
     RX_STALL,
     SNIC_PAUSE,
     SNIC_RESTART,
@@ -207,6 +208,11 @@ class FaultInjector:
                 raise FaultError("%s needs a GpuService or a gpu target"
                                  % kind)
             self._window(spec, self._begin_accel, self._end_accel)
+        elif kind == RACK_FAILURE:
+            if not hasattr(self.network, "fail_rack"):
+                raise FaultError("rack_failure needs a multi-rack fabric "
+                                 "(MultiRackNetwork) as the network target")
+            self._window(spec, self._begin_rack, self._end_rack)
         else:  # pragma: no cover - schedule validation rejects these
             raise FaultError("unknown fault kind %r" % (kind,))
 
@@ -352,6 +358,16 @@ class FaultInjector:
         else:
             self._release(self._active.pop(spec))
         self._counter("recovered.accel_restart").inc()
+
+    # -- rack fault domains --------------------------------------------------
+
+    def _begin_rack(self, spec):
+        self.network.fail_rack(spec.rack)
+        self._counter("injected." + RACK_FAILURE).inc()
+
+    def _end_rack(self, spec):
+        self.network.restore_rack(spec.rack)
+        self._counter("recovered." + RACK_FAILURE).inc()
 
     # -- introspection -----------------------------------------------------
 

@@ -39,6 +39,7 @@ SNIC_PAUSE = "snic_pause"
 SNIC_RESTART = "snic_restart"
 ACCEL_CRASH = "accel_crash"
 ACCEL_HANG = "accel_hang"
+RACK_FAILURE = "rack_failure"
 
 
 def _check_window(kind, start, duration):
@@ -158,6 +159,27 @@ class SnicRestart(SnicPause):
     kind = SNIC_RESTART
 
 
+class RackFailure(FaultSpec):
+    """A whole rack partitions for the window (multi-rack fabric only).
+
+    Frames to and from the rack are dropped by the fabric while the
+    window is open (``net.fabric.dropped_rack_down``); the load
+    balancer's health checks and the consistent-hash ring rehome its
+    shards to live replicas, and the window's end restores the rack.
+    """
+
+    __slots__ = ("rack",)
+    kind = RACK_FAILURE
+    extra_fields = ("rack",)
+
+    def __init__(self, rack, start, duration):
+        super().__init__(start, duration)
+        if not isinstance(rack, int) or rack < 0:
+            raise FaultError("rack_failure: rack must be a non-negative "
+                             "index, got %r" % (rack,))
+        self.rack = rack
+
+
 class AcceleratorOutage(FaultSpec):
     """The accelerator goes dark for the window, then restarts.
 
@@ -204,12 +226,16 @@ _BUILDERS = {
     ACCEL_HANG: lambda e: AcceleratorOutage(start=e.get("at"),
                                             duration=e.get("for"),
                                             mode="hang"),
+    RACK_FAILURE: lambda e: RackFailure(rack=e.get("rack"),
+                                        start=e.get("at"),
+                                        duration=e.get("for")),
 }
 
 # "mode" is redundant with the accel_crash/accel_hang kind tag but
 # appears in to_dict() output, so the round trip must accept it.
 _KNOWN_KEYS = frozenset(
-    ("fault", "at", "for", "ip", "probability", "buffer_limit", "mode"))
+    ("fault", "at", "for", "ip", "probability", "buffer_limit", "mode",
+     "rack"))
 
 
 class FaultSchedule:

@@ -1,8 +1,10 @@
 """Network substrate: messages, fabric, transport stacks, RDMA, clients."""
 
 from .packet import Address, Message, UDP, TCP, payload_size
-from .network import Network
+from .network import MultiRackNetwork, Network
 from .stack import NetworkStack, TcpConnection
+from .cluster import ConsistentHashRing, L4LoadBalancer, STEER_POLICIES, \
+    extract_key, shard_preload
 from .rdma import RdmaEngine, QueuePair
 from .client import Client, OpenLoopGenerator, ClosedLoopGenerator
 from .arrivals import ArrivalProcess, OnOffBurst, Poisson, TraceReplay, \
@@ -28,6 +30,12 @@ __all__ = [
     "TCP",
     "payload_size",
     "Network",
+    "MultiRackNetwork",
+    "ConsistentHashRing",
+    "L4LoadBalancer",
+    "STEER_POLICIES",
+    "extract_key",
+    "shard_preload",
     "NetworkStack",
     "TcpConnection",
     "RdmaEngine",

@@ -188,8 +188,17 @@ class Client:
         exponential backoff with ±50% jitter drawn from the simulation
         RNG so runs stay reproducible.  The base delay is
         ``retry_backoff`` (default: the timeout, else 1000us).
+
+        A retrying request always carries a per-attempt deadline: with
+        ``retries`` > 0 and no explicit ``timeout``, the deadline
+        defaults to twice the backoff base — otherwise a lost UDP
+        request would park the waiter forever and the retry budget
+        could never fire.
         """
         env = self.env
+        if retries > 0 and timeout is None:
+            timeout = 2.0 * (retry_backoff if retry_backoff is not None
+                             else 1000.0)
         attempt = 0
         while True:
             attempt += 1
@@ -219,8 +228,6 @@ class Client:
                 return response
             if attempt > retries:
                 return response
-            # A retry without a timeout can only be error-response
-            # driven; a lost request still parks forever, as before.
             self.retries += 1
             base = retry_backoff if retry_backoff is not None \
                 else (timeout if timeout else 1000.0)

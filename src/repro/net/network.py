@@ -1,4 +1,4 @@
-"""The physical network: endpoints, wire, and a ToR switch.
+"""The physical network: endpoints, wire, ToR switches, and a spine.
 
 The paper's testbed is a handful of machines behind one Mellanox SN2100
 cut-through switch.  Model: every NIC port attaches with an IP and gets
@@ -7,6 +7,17 @@ latency, sinking into the port's RX ring); a frame costs its
 serialization time on the sender port (charged by the NIC's TX
 channel), then rides the receiver's wire channel before landing
 drop-tail in the RX ring.
+
+:class:`MultiRackNetwork` (DESIGN.md §4.15) scales that single switch
+out to several ToRs behind a spine: intra-rack traffic keeps the exact
+single-hop path above, while cross-rack frames ride two extra
+:class:`~repro.sim.Channel` hops — the source ToR's uplink and the
+destination ToR's downlink — each adding ``spine_latency`` and bounded
+by a drop-tail spine-port queue whose depth shrinks with the
+configured ``oversubscription`` factor.  Racks are fault domains:
+:meth:`MultiRackNetwork.fail_rack` partitions a rack mid-run (frames
+to *and* from it drop, counted), which is what the cluster failover
+experiment (E18) recovers from.
 """
 
 from collections import deque
@@ -34,11 +45,18 @@ class _FabricCounters:
             return sum(ch.dropped for ch in network._channels.values())
         if key == "dropped_no_route":
             return network.dropped_no_route
+        if key == "dropped_rack_down":
+            return getattr(network, "dropped_rack_down", 0)
+        if key == "dropped_spine":
+            return sum(hop.dropped
+                       for hop in (getattr(network, "_uplinks", ())
+                                   + getattr(network, "_downlinks", ())))
         return default
 
     def as_dict(self):
         return {key: self.get(key) for key in
-                ("delivered", "dropped_rx_ring", "dropped_no_route")}
+                ("delivered", "dropped_rx_ring", "dropped_no_route",
+                 "dropped_rack_down", "dropped_spine")}
 
     def __repr__(self):
         return "<FabricCounters %r>" % (self.as_dict(),)
@@ -59,6 +77,11 @@ class Network:
         self._routing = deque()
         self.dropped_no_route = 0
         self.counters = _FabricCounters(self)
+        # Telemetry (DESIGN.md §4.9): registered as a pull counter so
+        # merged --jobs N snapshots keep no-route drops (the bare
+        # attribute alone would silently vanish from worker merges).
+        telemetry.registry().pull("net.fabric.dropped_no_route",
+                                  lambda: self.dropped_no_route)
 
     def attach(self, ip, endpoint):
         """Register *endpoint* (anything with an ``rx`` store) under *ip*."""
@@ -96,6 +119,18 @@ class Network:
         """Port-to-port latency through the switch, excluding serialization."""
         return 2 * self.wire_latency + self.switch_latency
 
+    def inject_channel(self, src_ip, dst_ip):
+        """The Channel a flyweight source at *src_ip* injects into when
+        targeting *dst_ip* (bypassing :meth:`deliver`'s routing kick).
+
+        On the single-switch fabric this is the destination's wire
+        channel — the same object, so injection stays bit-identical
+        with the historical direct resolution.  The multi-rack fabric
+        overrides it to return the source rack's uplink for cross-rack
+        destinations.
+        """
+        return self.wire_channel(dst_ip)
+
     def deliver(self, msg):
         """Fire-and-forget delivery of *msg* to its destination port."""
         self._routing.append(msg)
@@ -108,3 +143,188 @@ class Network:
             self.dropped_no_route += 1
             return
         channel.push(msg, nbytes=msg.wire_size)
+
+
+class _TorUplinkSink:
+    """Routing sink behind one ToR's uplink hop: lands each frame on
+    the destination rack's downlink, drop-tail at the oversubscribed
+    spine-port queue.
+
+    The class-level ``_push_item`` marker makes ``Channel._land_many``'s
+    bulk probe (``stype._push_item is Store._push_item``) evaluate
+    False, so burst landings take the per-item ``_land`` fallback —
+    every frame is routed (and its drop accounted) individually.
+    """
+
+    #: not a Store: force the per-item landing fallback (see above)
+    _push_item = None
+
+    __slots__ = ("network", "rack")
+
+    def __init__(self, network, rack):
+        self.network = network
+        self.rack = rack
+
+    def try_put(self, msg):
+        network = self.network
+        dead = network._dead_racks
+        # A partitioned rack fences its own uplink (frames injected from
+        # inside it) and refuses frames headed into it; either refusal
+        # is accounted as this hop's `dropped` by the refused _land.
+        dst_rack = network.rack_of(msg.dst.ip)
+        if self.rack in dead or dst_rack in dead:
+            return False
+        downlink = network._downlinks[dst_rack]
+        # Drop-tail at the oversubscribed spine port.
+        if len(downlink._in_flight) >= network.spine_queue:
+            return False
+        downlink.push(msg, nbytes=msg.wire_size)
+        return True
+
+
+class _TorDownlinkSink:
+    """Routing sink behind one ToR's downlink hop: lands each frame on
+    the destination endpoint's last-hop wire channel."""
+
+    _push_item = None
+
+    __slots__ = ("network", "rack")
+
+    def __init__(self, network, rack):
+        self.network = network
+        self.rack = rack
+
+    def try_put(self, msg):
+        network = self.network
+        wire = network._channels.get(msg.dst.ip)
+        if wire is None or self.rack in network._dead_racks:
+            return False
+        wire.push(msg, nbytes=msg.wire_size)
+        return True
+
+
+class MultiRackNetwork(Network):
+    """Several ToRs behind a spine (DESIGN.md §4.15).
+
+    Endpoints are placed into racks with :meth:`place` (default rack
+    0).  Intra-rack delivery is byte-identical to the single-switch
+    fabric; a cross-rack frame rides ``uplink(src rack) ->
+    downlink(dst rack) -> wire(dst)``, adding ``spine_latency`` per
+    spine hop.  ``oversubscription`` shrinks the drop-tail spine-port
+    queue (``spine_queue / oversubscription`` entries), so a congested
+    spine drops frames on the *uplink* hop — the classic
+    oversubscribed-fabric failure mode.
+
+    Racks are fault domains: :meth:`fail_rack` partitions a rack
+    (frames to and from it are dropped and counted in
+    ``dropped_rack_down``); :meth:`restore_rack` heals it.
+    """
+
+    def __init__(self, env, racks=2, wire_latency=0.3, switch_latency=0.3,
+                 spine_latency=0.5, oversubscription=1.0, spine_queue=512):
+        super().__init__(env, wire_latency, switch_latency)
+        if racks < 1:
+            raise NetworkError("a multi-rack fabric needs >= 1 rack")
+        if oversubscription < 1.0:
+            raise NetworkError("oversubscription factor must be >= 1.0")
+        self.racks = racks
+        self.spine_latency = spine_latency
+        self.oversubscription = oversubscription
+        #: spine-port queue depth after oversubscription (drop-tail)
+        self.spine_queue = max(1, int(round(spine_queue / oversubscription)))
+        self._rack_plan = {}
+        self._dead_racks = set()
+        self.dropped_rack_down = 0
+        self._uplinks = []
+        self._downlinks = []
+        reg = telemetry.registry()
+        for rack in range(racks):
+            up = Channel(env, name="tor%d-up" % rack, latency=spine_latency,
+                         sink=_TorUplinkSink(self, rack))
+            down = Channel(env, name="tor%d-down" % rack,
+                           latency=spine_latency,
+                           sink=_TorDownlinkSink(self, rack))
+            self._uplinks.append(up)
+            self._downlinks.append(down)
+            for tag, hop in (("up", up), ("down", down)):
+                base = "net.fabric.tor%d.%s." % (rack, tag)
+                reg.pull(base + "delivered",
+                         lambda hop=hop: hop.delivered)
+                reg.pull(base + "drops", lambda hop=hop: hop.dropped)
+        reg.pull("net.fabric.dropped_rack_down",
+                 lambda: self.dropped_rack_down)
+
+    # -- placement ---------------------------------------------------------
+
+    def place(self, ip, rack):
+        """Assign *ip* to *rack* (call before or after attaching)."""
+        if not 0 <= rack < self.racks:
+            raise NetworkError("rack %r out of range (have %d racks)"
+                               % (rack, self.racks))
+        self._rack_plan[ip] = rack
+
+    def rack_of(self, ip):
+        """The rack an endpoint lives in (unplaced IPs default to 0)."""
+        return self._rack_plan.get(ip, 0)
+
+    def rack_members(self, rack):
+        """Attached IPs placed in *rack*."""
+        return [ip for ip in self._endpoints
+                if self._rack_plan.get(ip, 0) == rack]
+
+    # -- fault domains ------------------------------------------------------
+
+    def fail_rack(self, rack):
+        """Partition *rack*: frames to and from it drop until restored."""
+        if not 0 <= rack < self.racks:
+            raise NetworkError("rack %r out of range (have %d racks)"
+                               % (rack, self.racks))
+        self._dead_racks.add(rack)
+
+    def restore_rack(self, rack):
+        self._dead_racks.discard(rack)
+
+    def rack_is_up(self, rack):
+        return rack not in self._dead_racks
+
+    def is_up(self, ip):
+        """Whether *ip*'s rack is currently alive (LB health checks)."""
+        return self._rack_plan.get(ip, 0) not in self._dead_racks
+
+    # -- hop access (tests / telemetry) -------------------------------------
+
+    def uplink(self, rack):
+        return self._uplinks[rack]
+
+    def downlink(self, rack):
+        return self._downlinks[rack]
+
+    # -- routing ------------------------------------------------------------
+
+    def inject_channel(self, src_ip, dst_ip):
+        wire = self.wire_channel(dst_ip)  # raises on unknown dst
+        if self.rack_of(src_ip) == self.rack_of(dst_ip):
+            return wire
+        return self._uplinks[self.rack_of(src_ip)]
+
+    def _route(self, _event):
+        msg = self._routing.popleft()
+        channel = self._channels.get(msg.dst.ip)
+        if channel is None:
+            self.dropped_no_route += 1
+            return
+        src_rack = self.rack_of(msg.src.ip)
+        dst_rack = self.rack_of(msg.dst.ip)
+        dead = self._dead_racks
+        if dead and (src_rack in dead or dst_rack in dead):
+            # Dead rack: nothing enters or leaves it.  This routing-stage
+            # counter is disjoint from the per-hop `dropped` counters
+            # (frames already in flight when the rack dies are refused
+            # at a spine hop and count there), so conservation sums add
+            # every counter exactly once.
+            self.dropped_rack_down += 1
+            return
+        if src_rack == dst_rack:
+            channel.push(msg, nbytes=msg.wire_size)
+        else:
+            self._uplinks[src_rack].push(msg, nbytes=msg.wire_size)

@@ -88,6 +88,65 @@ class TestFindSustainableLoad:
             find_sustainable_load(_step_trial(0.3), 0.5, 0.5, 50.0)
 
 
+class TestBracketSaturated:
+    """Regression: a bracket whose high end sustains the SLO used to be
+    indistinguishable from a converged knee — the flag lets callers
+    widen instead of reporting the artifact."""
+
+    def test_flag_set_when_the_whole_bracket_sustains(self):
+        found = find_sustainable_load(_step_trial(2.0), 0.1, 0.9, 50.0,
+                                      iters=5)
+        assert found.bracket_saturated
+        assert found.rate == 0.9
+
+    def test_flag_clear_on_a_real_knee(self):
+        found = find_sustainable_load(_step_trial(0.3), 0.1, 0.9, 50.0,
+                                      iters=5)
+        assert not found.bracket_saturated
+
+    def test_flag_clear_when_nothing_sustains(self):
+        found = find_sustainable_load(_step_trial(0.05), 0.1, 0.9, 50.0,
+                                      iters=5)
+        assert not found.bracket_saturated
+
+
+class TestBracketWidening:
+    """E17's response to a saturated bracket: re-search [hi, 4*hi] once."""
+
+    def _pin_trial(self, monkeypatch, knee):
+        def fake(design, arrivals, rate, seed, warmup, measure):
+            return _step_trial(knee)(rate, seed)
+
+        monkeypatch.setitem(e17.TRIALS, "memcached", fake)
+
+    def _frontier(self, lo, hi):
+        return e17.measure_frontier("memcached", HOST_CENTRIC, seed=42,
+                                    warmup=10.0, measure=10.0, iters=6,
+                                    lo=lo, hi=hi)
+
+    def test_saturated_bracket_widens_once_and_finds_the_knee(
+            self, monkeypatch):
+        self._pin_trial(monkeypatch, knee=0.3)
+        out = self._frontier(lo=0.05, hi=0.1)   # knee above the bracket
+        assert out["bracket_widened"]
+        assert not out["bracket_saturated"]     # the widened search knelt
+        assert out["sustainable_per_sec"] == pytest.approx(0.3e6, rel=0.05)
+
+    def test_normal_knee_does_not_widen(self, monkeypatch):
+        self._pin_trial(monkeypatch, knee=0.3)
+        out = self._frontier(lo=0.1, hi=0.9)
+        assert not out["bracket_widened"]
+        assert not out["bracket_saturated"]
+        assert out["sustainable_per_sec"] == pytest.approx(0.3e6, rel=0.05)
+
+    def test_widened_bracket_can_still_saturate(self, monkeypatch):
+        self._pin_trial(monkeypatch, knee=10.0)
+        out = self._frontier(lo=0.05, hi=0.1)   # knee above 4*hi too
+        assert out["bracket_widened"]
+        assert out["bracket_saturated"]         # reported, not hidden
+        assert out["sustainable_per_sec"] == pytest.approx(0.4e6)
+
+
 @pytest.fixture(scope="module")
 def result():
     # Tiny windows + 3 bisection probes: shape/determinism, not accuracy.

@@ -8,7 +8,7 @@ from repro.experiments.base import ExperimentResult, krps
 
 class TestRegistry:
     def test_covers_every_paper_figure_and_table(self):
-        assert sorted(REGISTRY) == ["E%02d" % i for i in range(1, 18)]
+        assert sorted(REGISTRY) == ["E%02d" % i for i in range(1, 19)]
 
     def test_every_module_has_run(self):
         for module in REGISTRY.values():

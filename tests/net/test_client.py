@@ -242,6 +242,45 @@ class TestRetries:
 
         assert run_once({}) == run_once({"retries": 0})
 
+    def test_retries_without_timeout_get_a_default_deadline(self, env,
+                                                            network):
+        # Regression: retries>0 with no explicit timeout used to park
+        # the waiter forever on the first dropped request — no deadline
+        # ever fired, so the retry budget was unreachable.
+        _FlakyEchoServer(env, network, "10.0.0.1", 7777, heal_at=500)
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        results = []
+
+        def one(env):
+            response = yield from client.request(
+                b"ping", Address("10.0.0.1", 7777), proto=UDP,
+                retries=5, retry_backoff=150.0)
+            results.append(response)
+
+        env.process(one(env))
+        env.run(until=8000)
+        assert results and results[0] is not None
+        assert results[0].kind == "response"
+        assert client.retries > 0
+        assert client._waiters == {}
+
+    def test_no_retries_no_timeout_still_waits_indefinitely(self, env,
+                                                            network):
+        # The default deadline is scoped to retrying requests only: a
+        # bare request keeps the historical wait-forever semantics.
+        client = Client(env, network, "10.0.1.1", rng=RngRegistry(0))
+        results = []
+
+        def one(env):
+            response = yield from client.request(
+                b"ping", Address("10.9.9.9", 7777), proto=UDP)
+            results.append(response)
+
+        env.process(one(env))
+        env.run(until=5000)
+        assert results == []
+        assert len(client._waiters) == 1
+
     def test_retry_backoff_is_seeded_deterministic(self, env, network):
         def run_once():
             env2 = Environment()
